@@ -1,0 +1,72 @@
+"""E7 / design-choice ablation.
+
+Separates LaminarIR's win into its ingredients, per DESIGN.md §7:
+
+* ``full``          — the complete lowering + optimizer;
+* ``no split/join`` — compile-time queues, but splitters/joiners still
+  copy tokens (explicit move per routed token);
+* ``no promotion``  — splitter/joiner elimination + scalar opts, but
+  filter state stays in memory (no mem2reg/SROA);
+* ``no opt``        — the bare lowering with no optimizer at all.
+
+Reported as modeled i7-2600K cycles per steady iteration, normalized to
+the FIFO baseline (higher speedup = better).
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from benchmarks.common import emit, evaluation
+from repro.evaluation import format_table
+from repro.machine import I7_2600K
+
+ABLATION_NAMES = ("fm_radio", "beamformer", "dct", "filterbank",
+                  "bitonic_sort", "lattice")
+
+VARIANTS = (
+    ("full", {}),
+    ("no split/join elim", {"eliminate_splitjoin": False}),
+    ("no state promotion", {"promote": False}),
+    ("no optimizer", {"optimize": False}),
+)
+
+
+def build_report() -> tuple[str, dict]:
+    rows = []
+    speedups: dict[tuple[str, str], float] = {}
+    for name in ABLATION_NAMES:
+        row = [name]
+        for label, options in VARIANTS:
+            record = evaluation(name, **options)
+            speedup = record.speedup(I7_2600K)
+            speedups[(name, label)] = speedup
+            row.append(f"{speedup:.2f}x")
+        rows.append(row)
+    table = format_table(
+        ["benchmark"] + [label for label, _ in VARIANTS],
+        rows,
+        title="Ablation: modeled i7-2600K speedup over the FIFO baseline")
+    return table, speedups
+
+
+def test_ablation(benchmark):
+    benchmark(lambda: evaluation("dct").speedup(I7_2600K))
+    table, speedups = build_report()
+    emit("ablation", table)
+    for name in ABLATION_NAMES:
+        full = speedups[(name, "full")]
+        # every ablation must not beat the full configuration
+        for label, _ in VARIANTS[1:]:
+            assert speedups[(name, label)] <= full * 1.01, (name, label)
+        # the unoptimized lowering is the weakest configuration
+        assert speedups[(name, "no optimizer")] <= \
+            speedups[(name, "no state promotion")] * 1.01, name
+    # splitter/joiner elimination matters most on routing-heavy programs
+    assert speedups[("dct", "no split/join elim")] < \
+        speedups[("dct", "full")]
+
+
+if __name__ == "__main__":
+    print(build_report()[0])

@@ -1,0 +1,66 @@
+"""E8 / correctness: LaminarIR is observationally equivalent to the FIFO
+baseline on the whole suite, and (when a C compiler is present) the native
+binaries reproduce the interpreter outputs bit-for-bit.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from benchmarks.common import all_names, compiled, emit, evaluation
+from repro.backend import (checksum_outputs, compile_and_run,
+                           find_compiler)
+from repro.evaluation import format_table
+
+NATIVE_NAMES = ("fm_radio", "bitonic_sort", "lattice")
+NATIVE_ITERATIONS = 10
+
+
+def build_report() -> str:
+    rows = []
+    for name in all_names():
+        record = evaluation(name)
+        rows.append([
+            name,
+            str(len(record.fifo.outputs)),
+            "yes" if record.outputs_match else "NO",
+            f"{checksum_outputs(record.fifo.outputs):016x}",
+        ])
+    return format_table(
+        ["benchmark", "outputs", "FIFO == LaminarIR", "checksum"],
+        rows, title="Correctness: output equivalence across the suite")
+
+
+def test_suite_equivalence(benchmark):
+    benchmark(lambda: evaluation("lattice").outputs_match)
+    report = build_report()
+    emit("equivalence", report)
+    for name in all_names():
+        assert evaluation(name).outputs_match, name
+
+
+def test_native_equivalence(benchmark, tmp_path):
+    if find_compiler() is None:
+        import pytest
+        pytest.skip("no C compiler on PATH")
+
+    def run_one(name):
+        stream = compiled(name)
+        interp = stream.run_fifo(NATIVE_ITERATIONS)
+        fifo = compile_and_run(stream.fifo_c(), NATIVE_ITERATIONS,
+                               workdir=tmp_path, name=f"{name}_f")
+        laminar = compile_and_run(stream.laminar_c(), NATIVE_ITERATIONS,
+                                  workdir=tmp_path, name=f"{name}_l")
+        expected = checksum_outputs(interp.outputs)
+        assert fifo.checksum == expected, name
+        assert laminar.checksum == expected, name
+        return expected
+
+    benchmark(lambda: run_one("lattice"))
+    for name in NATIVE_NAMES:
+        run_one(name)
+
+
+if __name__ == "__main__":
+    print(build_report())

@@ -1,0 +1,58 @@
+"""E2 / data-communication figure.
+
+Regenerates the paper's data-communication comparison: tokens moved
+between actors per steady iteration under run-time FIFOs vs LaminarIR.
+Paper headline: LaminarIR reduces data communication by 35.9% on average
+(the reduction is the splitter/joiner traffic that compile-time routing
+eliminates).
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from benchmarks.common import all_names, compiled, emit, percent
+from repro.evaluation import format_table
+from repro.machine.metrics import communication_report
+
+
+def build_report() -> tuple[str, float]:
+    rows = []
+    reductions = []
+    for name in all_names():
+        report = compiled(name).communication()
+        reductions.append(report.reduction)
+        rows.append([
+            name,
+            str(report.fifo_tokens),
+            str(report.laminar_tokens),
+            str(report.fifo_bytes),
+            str(report.laminar_bytes),
+            percent(report.reduction),
+        ])
+    average = sum(reductions) / len(reductions)
+    rows.append(["average", "", "", "", "", percent(average)])
+    table = format_table(
+        ["benchmark", "FIFO tokens/iter", "LaminarIR tokens/iter",
+         "FIFO bytes", "LaminarIR bytes", "reduction"],
+        rows,
+        title="Figure: data communication per steady iteration "
+              "(paper: 35.9% average reduction)")
+    return table, average
+
+
+def test_communication_reduction(benchmark):
+    stream = compiled("fm_radio")
+    benchmark(lambda: communication_report(stream.schedule))
+    table, average = build_report()
+    emit("fig_communication", table)
+    # Shape check: splitter/joiner-free benchmarks reduce 0%, the suite
+    # average lands in the paper's neighbourhood.
+    assert 0.15 <= average <= 0.60
+    assert compiled("lattice").communication().reduction == 0.0
+    assert compiled("beamformer").communication().reduction > 0.4
+
+
+if __name__ == "__main__":
+    print(build_report()[0])

@@ -1,0 +1,77 @@
+"""E9 (extension) — steady-state execution scaling.
+
+The paper's future-work direction of enlarging the compile-time scope:
+``steady_multiplier=k`` unrolls k schedule iterations into one LaminarIR
+body.  Because the schedule restores channel occupancy each iteration,
+the concatenation is always valid; the larger body amortizes the
+loop-carried rotation and lets CSE work across iteration boundaries, at
+the cost of code size and register pressure (the spill model pushes back
+at high k).
+
+Reported: LaminarIR steady ops per *schedule* iteration and modeled
+i7-2600K cycles per schedule iteration, for k in {1, 2, 4, 8}.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from benchmarks.common import EVAL_ITERATIONS, compiled, emit
+from repro.evaluation import evaluate_stream, format_table
+from repro.lir import LoweringOptions
+from repro.machine import I7_2600K
+
+SCALING_NAMES = ("fm_radio", "dct", "lattice", "rate_convert")
+MULTIPLIERS = (1, 2, 4, 8)
+
+
+def measure(name: str, multiplier: int) -> tuple[float, float]:
+    """(steady ops per schedule iteration, modeled cycles per schedule
+    iteration) for one configuration."""
+    stream = compiled(name)
+    lowering = LoweringOptions(steady_multiplier=multiplier)
+    iterations = EVAL_ITERATIONS * 2  # divisible by every multiplier
+    record = evaluate_stream(name, stream, iterations=iterations,
+                             lowering=lowering)
+    assert record.outputs_match, (name, multiplier)
+    ops = record.laminar.steady_counters.total_ops / iterations
+    cycles = record.cycles(I7_2600K, laminar=True) / iterations
+    return ops, cycles
+
+
+def build_report() -> tuple[str, dict]:
+    rows = []
+    data: dict[tuple[str, int], tuple[float, float]] = {}
+    for name in SCALING_NAMES:
+        ops_row = [name + " (ops/iter)"]
+        cyc_row = [name + " (cycles/iter)"]
+        for multiplier in MULTIPLIERS:
+            ops, cycles = measure(name, multiplier)
+            data[(name, multiplier)] = (ops, cycles)
+            ops_row.append(f"{ops:.0f}")
+            cyc_row.append(f"{cycles:.0f}")
+        rows.append(ops_row)
+        rows.append(cyc_row)
+    table = format_table(
+        ["benchmark"] + [f"k={m}" for m in MULTIPLIERS],
+        rows,
+        title="Extension: steady-state execution scaling "
+              "(per schedule iteration, i7-2600K model)")
+    return table, data
+
+
+def test_execution_scaling(benchmark):
+    benchmark(lambda: measure("lattice", 2))
+    table, data = build_report()
+    emit("scaling", table)
+    for name in SCALING_NAMES:
+        ops_k1 = data[(name, 1)][0]
+        ops_k4 = data[(name, 4)][0]
+        # unrolling never increases per-iteration op counts (CSE and
+        # amortized carry rotation can only help)
+        assert ops_k4 <= ops_k1 * 1.001, name
+
+
+if __name__ == "__main__":
+    print(build_report()[0])

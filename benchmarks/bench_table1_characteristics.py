@@ -1,0 +1,50 @@
+"""E1 / Table 1 — benchmark suite characteristics.
+
+Regenerates the paper's benchmark-characteristics table: per benchmark,
+the number of filters, splitters/joiners, peeking filters, steady-state
+firings, and the size of the unrolled LaminarIR steady section.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from benchmarks.common import all_names, compiled, emit, evaluation
+from repro.evaluation import format_table
+from repro.suite import BENCHMARKS, load_benchmark
+
+
+def build_report() -> str:
+    rows = []
+    for name in all_names():
+        stream = compiled(name)
+        stats = stream.stats()
+        program = stream.lower().program
+        rows.append([
+            name,
+            BENCHMARKS[name].domain,
+            str(stats["filters"]),
+            str(stats["splitters"] + stats["joiners"]),
+            str(stats["peeking_filters"]),
+            str(stats["steady_firings"]),
+            str(len(program.steady)),
+        ])
+    return format_table(
+        ["benchmark", "domain", "filters", "split/join", "peeking",
+         "steady firings", "LaminarIR steady ops"],
+        rows, title="Table 1: benchmark characteristics")
+
+
+def test_table1(benchmark):
+    benchmark(lambda: load_benchmark("fm_radio"))
+    report = build_report()
+    emit("table1_characteristics", report)
+    assert "fm_radio" in report
+    # every benchmark appears
+    for name in all_names():
+        assert name in report
+
+
+if __name__ == "__main__":
+    print(build_report())

@@ -1,0 +1,80 @@
+"""E10 (extension) — queue memory footprint.
+
+The FIFO baseline materializes every channel as a circular buffer sized
+by the schedule's occupancy bound (plus a read and a write index); the
+LaminarIR program needs only its loop-carried tokens (registers) and the
+state slots that survived promotion.  This table quantifies how much
+buffer memory the compile-time queues eliminate — the paper's data-
+communication story viewed as a footprint.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from benchmarks.common import all_names, compiled, emit, percent
+from repro.evaluation import format_table
+
+_TOKEN_BYTES = {"int": 4, "float": 8, "boolean": 4}
+
+
+def fifo_buffer_bytes(stream) -> int:
+    total = 0
+    for channel in stream.graph.channels:
+        bound = stream.schedule.buffer_bounds[channel.name]
+        total += bound * _TOKEN_BYTES[channel.ty.name]
+        total += 8  # read + write index (two 32-bit ints)
+    return total
+
+
+def laminar_state_bytes(stream) -> tuple[int, int]:
+    program = stream.lower().program
+    carries = sum(_TOKEN_BYTES[p.ty.name] for p in program.carry_params)
+    state = sum((slot.size or 1) * _TOKEN_BYTES[slot.ty.name]
+                for slot in program.state_slots)
+    return carries, state
+
+
+def build_report() -> tuple[str, float]:
+    rows = []
+    reductions = []
+    for name in all_names():
+        stream = compiled(name)
+        fifo = fifo_buffer_bytes(stream)
+        carries, state = laminar_state_bytes(stream)
+        reduction = 1.0 - (carries + state) / fifo if fifo else 0.0
+        reductions.append(reduction)
+        rows.append([
+            name,
+            str(fifo),
+            str(carries),
+            str(state),
+            percent(max(reduction, 0.0)),
+        ])
+    average = sum(reductions) / len(reductions)
+    rows.append(["average", "", "", "", percent(average)])
+    table = format_table(
+        ["benchmark", "FIFO buffers (bytes)",
+         "LaminarIR carried tokens (bytes)",
+         "LaminarIR residual state (bytes)", "footprint reduction"],
+        rows,
+        title="Extension: queue memory footprint "
+              "(buffers -> registers)")
+    return table, average
+
+
+def test_buffer_footprint(benchmark):
+    stream = compiled("fm_radio")
+    benchmark(lambda: fifo_buffer_bytes(stream))
+    table, average = build_report()
+    emit("table_buffers", table)
+    assert average > 0.4
+    for name in all_names():
+        stream = compiled(name)
+        carries, state = laminar_state_bytes(stream)
+        assert carries + state <= fifo_buffer_bytes(stream), name
+
+
+if __name__ == "__main__":
+    print(build_report()[0])

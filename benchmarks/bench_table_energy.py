@@ -1,0 +1,60 @@
+"""E5 / energy table.
+
+Regenerates the paper's energy-savings result on the Intel i7-2600K
+model: per-iteration dynamic+static energy of the FIFO baseline vs
+LaminarIR.  Paper headline: energy savings of up to 93.6% on the
+i7-2600K.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from benchmarks.common import all_names, emit, evaluation, percent
+from repro.evaluation import format_table
+from repro.machine import I7_2600K, PLATFORMS
+
+
+def build_report() -> tuple[str, float]:
+    rows = []
+    best = 0.0
+    for name in all_names():
+        record = evaluation(name)
+        iters = record.iterations
+        fifo_energy = record.energy(I7_2600K, laminar=False) / iters
+        laminar_energy = record.energy(I7_2600K, laminar=True) / iters
+        saving = record.energy_saving(I7_2600K)
+        best = max(best, saving)
+        rows.append([
+            name,
+            f"{fifo_energy / 1e3:.2f}",
+            f"{laminar_energy / 1e3:.2f}",
+            percent(saving),
+        ])
+    rows.append(["maximum", "", "", percent(best)])
+    table = format_table(
+        ["benchmark", "FIFO nJ/iter (i7 model)",
+         "LaminarIR nJ/iter (i7 model)", "saving"],
+        rows,
+        title="Table: modeled energy on Intel i7-2600K "
+              "(paper: up to 93.6% savings)")
+    return table, best
+
+
+def test_energy_savings(benchmark):
+    record = evaluation("filterbank")
+    benchmark(lambda: record.energy(I7_2600K, laminar=True))
+    table, best = build_report()
+    emit("table_energy", table)
+    # shape: the best benchmark saves most of its energy, every benchmark
+    # saves something, and savings hold on the other platforms too
+    assert best > 0.7
+    for name in all_names():
+        rec = evaluation(name)
+        for model in PLATFORMS.values():
+            assert rec.energy_saving(model) > 0.0, (name, model.name)
+
+
+if __name__ == "__main__":
+    print(build_report()[0])

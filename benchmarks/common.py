@@ -1,0 +1,67 @@
+"""Shared infrastructure for the experiment drivers.
+
+Each ``bench_*.py`` regenerates one of the paper's tables/figures.  They
+can run two ways:
+
+* ``python benchmarks/bench_fig_speedup.py`` — print the table directly;
+* ``pytest benchmarks/ --benchmark-only`` — time the underlying
+  computation with pytest-benchmark and write the table to
+  ``benchmarks/results/<name>.txt``.
+
+Evaluations are cached per (benchmark, options) so the whole suite is
+interpreted once per pytest session.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from pathlib import Path
+
+from repro.evaluation import BenchmarkEvaluation, evaluate_benchmark
+from repro.lir import LoweringOptions
+from repro.opt import OptOptions
+from repro.suite import benchmark_names, load_benchmark
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+# Interpreted steady iterations per benchmark; small but enough to expose
+# per-iteration counters exactly (they are iteration-linear).
+EVAL_ITERATIONS = 4
+
+
+@lru_cache(maxsize=None)
+def evaluation(name: str, static_input: bool = False,
+               eliminate_splitjoin: bool = True,
+               optimize: bool = True,
+               promote: bool = True) -> BenchmarkEvaluation:
+    lowering = LoweringOptions(eliminate_splitjoin=eliminate_splitjoin)
+    if not optimize:
+        opt = OptOptions.none()
+    elif not promote:
+        opt = OptOptions(promote_state=False)
+    else:
+        opt = OptOptions()
+    return evaluate_benchmark(name, iterations=EVAL_ITERATIONS,
+                              lowering=lowering, opt=opt,
+                              static_input=static_input)
+
+
+@lru_cache(maxsize=None)
+def compiled(name: str, static_input: bool = False):
+    return load_benchmark(name, static_input=static_input)
+
+
+def all_names() -> list[str]:
+    return benchmark_names()
+
+
+def emit(name: str, text: str) -> None:
+    """Print a report and persist it under benchmarks/results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def percent(fraction: float) -> str:
+    return f"{fraction * 100:.1f}%"

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Feedback loops: an audio echo effect.
+
+The `feedbackloop` construct routes part of a stream back to its own
+input through a delay-and-attenuate path; `enqueue` seeds the feedback
+channel so the loop can fire before its first output arrives.  This
+example builds a one-tap echo, shows how the initial tokens appear on
+the back edge of the flat graph, and demonstrates that the loop-carried
+tokens of the LaminarIR program *are* the echo memory.
+
+Run:  python examples/feedback_echo.py
+"""
+
+from repro import check_equivalence, compile_source
+
+SOURCE = """
+void->float filter Impulse() {
+  int t;
+  init { t = 0; }
+  work push 1 {
+    /* a single unit impulse, then silence */
+    push(t == 0 ? 1.0 : 0.0);
+    t = t + 1;
+  }
+}
+
+/* mixes the dry signal with the fed-back echo, and feeds the mixed
+   signal back out on the loop path */
+float->float filter EchoMixer(float gain) {
+  work push 2 pop 2 {
+    float dry = pop();
+    float fed_back = pop();
+    float mixed = dry + gain * fed_back;
+    push(mixed);   /* to the output */
+    push(mixed);   /* back around the loop */
+  }
+}
+
+float->float filter LoopDelay() {
+  /* one extra sample of delay on the feedback path */
+  prework push 1 { push(0); }
+  work push 1 pop 1 { push(pop()); }
+}
+
+float->void filter Printer() {
+  work pop 1 { println(pop()); }
+}
+
+void->void pipeline Echo {
+  add Impulse();
+  add feedbackloop {
+    join roundrobin(1, 1);
+    body EchoMixer(0.5);
+    loop LoopDelay();
+    split roundrobin(1, 1);
+    enqueue 0.0;
+  };
+  add Printer();
+}
+"""
+
+
+def main() -> None:
+    stream = compile_source(SOURCE, "echo.str")
+
+    print("=== flat graph (note the dashed feedback edge) ===")
+    for channel in stream.graph.channels:
+        marker = "  <-- feedback, seeded by enqueue" if channel.initial \
+            else ""
+        print(f"  {channel.src.name} -> {channel.dst.name}{marker}")
+
+    print("\n=== impulse response (echo decays by 0.5 each bounce) ===")
+    report = check_equivalence(stream, iterations=10)
+    assert report.matches
+    for step, value in enumerate(report.laminar.outputs):
+        bar = "#" * int(value * 40)
+        print(f"  t={step:2d}  {value:8.5f}  {bar}")
+
+    program = stream.lower().program
+    print(f"\nLaminarIR loop-carried values: {len(program.carry_params)}")
+    print("(these registers *are* the echo memory — no FIFO exists "
+          "at run time)")
+
+
+if __name__ == "__main__":
+    main()

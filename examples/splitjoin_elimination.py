@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""What splitter/joiner elimination actually does.
+
+Builds the 8x8 transpose idiom — a round-robin splitjoin over identity
+branches, pure data routing — and shows it three ways:
+
+1. the baseline's view: a splitter and joiner that copy all 64 tokens,
+2. the LaminarIR view with elimination ON: the routing vanishes — the
+   steady section contains *only* the prints,
+3. the ablation with elimination OFF: one explicit move per routed token.
+
+Run:  python examples/splitjoin_elimination.py
+"""
+
+from repro import LoweringOptions, compile_source
+from repro.lir import MoveOp
+
+SOURCE = """
+void->float filter Counter() {
+  float n;
+  init { n = 0; }
+  work push 1 {
+    push(n);
+    n = n + 1;
+  }
+}
+
+float->float filter Identity() {
+  work push 1 pop 1 { push(pop()); }
+}
+
+float->float pipeline Transpose(int n) {
+  add splitjoin {
+    split roundrobin(1);
+    for (int i = 0; i < n; i++)
+      add Identity();
+    join roundrobin(n);
+  };
+}
+
+float->void filter Printer() {
+  work pop 1 { println(pop()); }
+}
+
+void->void pipeline Demo {
+  add Counter();
+  add Transpose(8);
+  add Printer();
+}
+"""
+
+
+def count_kinds(program) -> dict[str, int]:
+    kinds: dict[str, int] = {}
+    for op in program.steady:
+        kinds[type(op).__name__] = kinds.get(type(op).__name__, 0) + 1
+    return kinds
+
+
+def main() -> None:
+    stream = compile_source(SOURCE, "transpose.str")
+
+    print("=== baseline: what the FIFO route executes per iteration ===")
+    fifo = stream.run_fifo(1)
+    counters = fifo.steady_counters
+    print(f"  token transfers: {counters.token_transfers}")
+    print(f"  memory accesses: {counters.memory_accesses}")
+
+    print("\n=== LaminarIR with splitter/joiner elimination ===")
+    eliminated = stream.lower().program
+    print(f"  steady ops: {count_kinds(eliminated)}")
+    print("  -> the transpose is *free*: tokens are renamed at compile "
+          "time")
+
+    print("\n=== ablation: elimination disabled ===")
+    kept = stream.lower(
+        LoweringOptions(eliminate_splitjoin=False)).program
+    moves = sum(1 for op in kept.steady if isinstance(op, MoveOp))
+    print(f"  steady ops: {count_kinds(kept)}")
+    print(f"  routing moves that survive optimization: {moves}")
+
+    print("\n=== proof both transpose correctly ===")
+    outputs = stream.run_laminar(1).outputs
+    print("  first output row:", [int(v) for v in outputs[:8]])
+    assert [int(v) for v in outputs[:8]] == [0, 8, 16, 24, 32, 40, 48, 56]
+    print("  (row-major input became column-major output)")
+
+
+if __name__ == "__main__":
+    main()

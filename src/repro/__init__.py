@@ -1,0 +1,26 @@
+"""LaminarIR: compile-time queues for structured streams.
+
+A from-scratch Python reproduction of Ko, Burgstaller & Scholz,
+"LaminarIR: compile-time queues for structured streams" (PLDI 2015):
+a StreamIt-subset frontend, SDF scheduler, the LaminarIR lowering with
+compile-time FIFO queues and splitter/joiner elimination, a scalar
+optimizer, instrumented interpreters for both the FIFO baseline and
+LaminarIR, platform cost/energy models, and C backends for native runs.
+
+Entry points: :func:`compile_source` / :func:`compile_file`, returning a
+:class:`CompiledStream`.
+"""
+
+from repro.api import (CompiledStream, EquivalenceReport, LoweredResult,
+                       check_equivalence, compile_file, compile_source)
+from repro.frontend.errors import CompileError
+from repro.lir import LoweringOptions
+from repro.opt import OptOptions
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompileError", "CompiledStream", "EquivalenceReport",
+    "LoweredResult", "LoweringOptions", "OptOptions", "check_equivalence",
+    "compile_file", "compile_source", "__version__",
+]

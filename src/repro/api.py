@@ -1,0 +1,166 @@
+"""High-level facade: the API a downstream user of the library sees.
+
+Typical use::
+
+    from repro import compile_source
+
+    stream = compile_source(open("fm_radio.str").read())
+    result = stream.run_laminar(iterations=100)
+    baseline = stream.run_fifo(iterations=100)
+    assert result.outputs == baseline.outputs
+
+``CompiledStream`` bundles the whole pipeline — parse → elaborate →
+flatten → schedule — and exposes lowering, optimization, both
+interpreters, both C backends and the analytic metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.backend.common import checksum_outputs
+from repro.backend.fifo_c import FifoCodegenOptions, generate_fifo_c
+from repro.backend.laminar_c import generate_laminar_c
+from repro.frontend import parse_and_check
+from repro.frontend.ast_nodes import Program as AstProgram
+from repro.frontend.intrinsics import XorShift32
+from repro.graph import FlatGraph, StreamNode, elaborate, flatten, \
+    graph_stats
+from repro.interp import FifoInterpreter, LaminarInterpreter, RunResult
+from repro.lir import LoweringOptions, Program, lower, verify
+from repro.machine.metrics import CommunicationReport, communication_report
+from repro.opt import OptOptions, OptStats, optimize
+from repro.scheduling import Schedule, build_schedule
+
+
+@dataclass
+class LoweredResult:
+    """A lowered + optimized LaminarIR program with its pass statistics."""
+
+    program: Program
+    opt_stats: OptStats
+
+
+@dataclass
+class CompiledStream:
+    """A fully scheduled stream program, ready to run or lower."""
+
+    source: str
+    ast: AstProgram
+    root: StreamNode
+    graph: FlatGraph
+    schedule: Schedule
+    _lowered_cache: dict = field(default_factory=dict, repr=False)
+
+    @property
+    def name(self) -> str:
+        return self.graph.name
+
+    # -- structure ---------------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        """Structural statistics (Table 1)."""
+        out = graph_stats(self.graph)
+        out["steady_firings"] = len(self.schedule.steady)
+        out["init_firings"] = len(self.schedule.init)
+        return out
+
+    def communication(self) -> CommunicationReport:
+        """Analytic data-communication volumes (experiment E2)."""
+        return communication_report(self.schedule)
+
+    # -- lowering ------------------------------------------------------------------
+
+    def lower(self, lowering: LoweringOptions | None = None,
+              opt: OptOptions | None = None) -> LoweredResult:
+        """Lower to LaminarIR and optimize.  Results are cached per options."""
+        key = (repr(lowering), repr(opt))
+        cached = self._lowered_cache.get(key)
+        if cached is not None:
+            return cached
+        program = lower(self.schedule, self.source, lowering)
+        stats = optimize(program, opt)
+        verify(program)  # cheap invariant check after every pass pipeline
+        result = LoweredResult(program=program, opt_stats=stats)
+        self._lowered_cache[key] = result
+        return result
+
+    # -- execution -------------------------------------------------------------------
+
+    def run_fifo(self, iterations: int,
+                 seed: int = XorShift32.DEFAULT_SEED) -> RunResult:
+        """Run the FIFO baseline interpreter (the StreamIt stand-in)."""
+        return FifoInterpreter(self.schedule, self.source,
+                               rng_seed=seed).run(iterations)
+
+    def run_laminar(self, iterations: int,
+                    lowering: LoweringOptions | None = None,
+                    opt: OptOptions | None = None,
+                    seed: int = XorShift32.DEFAULT_SEED) -> RunResult:
+        """Lower (cached), optimize and execute the LaminarIR program.
+
+        ``iterations`` counts *schedule* iterations so results stay
+        comparable with :meth:`run_fifo` even when
+        ``lowering.steady_multiplier`` packs several schedule iterations
+        into one LaminarIR body.
+        """
+        multiplier = (lowering or LoweringOptions()).steady_multiplier
+        if iterations % multiplier:
+            raise ValueError(
+                f"iterations ({iterations}) must be a multiple of "
+                f"steady_multiplier ({multiplier})")
+        lowered = self.lower(lowering, opt)
+        return LaminarInterpreter(lowered.program, rng_seed=seed).run(
+            iterations // multiplier)
+
+    # -- native code ---------------------------------------------------------------
+
+    def fifo_c(self, options: "FifoCodegenOptions | None" = None) -> str:
+        """The baseline C program (run-time FIFO queues)."""
+        return generate_fifo_c(self.schedule, self.source, options)
+
+    def laminar_c(self, lowering: LoweringOptions | None = None,
+                  opt: OptOptions | None = None) -> str:
+        """The LaminarIR C program (compile-time queues)."""
+        return generate_laminar_c(self.lower(lowering, opt).program)
+
+
+def compile_source(source: str,
+                   filename: str = "<string>") -> CompiledStream:
+    """Run the full frontend pipeline on ``source``."""
+    ast = parse_and_check(source, filename)
+    root = elaborate(ast)
+    graph = flatten(root)
+    schedule = build_schedule(graph)
+    return CompiledStream(source=source, ast=ast, root=root, graph=graph,
+                          schedule=schedule)
+
+
+def compile_file(path: str | Path) -> CompiledStream:
+    path = Path(path)
+    return compile_source(path.read_text(), str(path))
+
+
+@dataclass
+class EquivalenceReport:
+    """Outcome of running both routes and comparing outputs (E8)."""
+
+    matches: bool
+    output_count: int
+    fifo: RunResult
+    laminar: RunResult
+    checksum: int
+
+
+def check_equivalence(stream: CompiledStream, iterations: int = 10,
+                      lowering: LoweringOptions | None = None,
+                      opt: OptOptions | None = None) -> EquivalenceReport:
+    """Run both interpreters and compare their output streams exactly."""
+    fifo = stream.run_fifo(iterations)
+    laminar = stream.run_laminar(iterations, lowering, opt)
+    matches = fifo.outputs == laminar.outputs
+    return EquivalenceReport(matches=matches,
+                             output_count=len(fifo.outputs),
+                             fifo=fifo, laminar=laminar,
+                             checksum=checksum_outputs(fifo.outputs))

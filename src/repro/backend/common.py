@@ -1,0 +1,182 @@
+"""Shared pieces of both C backends.
+
+Contains the C runtime prelude (deterministic RNG, print/checksum/timing
+harness, math helpers) and small utilities for type mapping and naming.
+
+The generated programs take two arguments::
+
+    ./prog <iterations> print   # print every output (correctness mode)
+    ./prog <iterations> time    # run silently, print checksum + seconds
+
+``int`` maps to ``int32_t`` and ``float`` to ``double``, and the RNG is
+the same xorshift32 as :class:`repro.frontend.intrinsics.XorShift32`, so
+native output streams are bit-identical to the Python interpreters.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.frontend.types import BOOLEAN, FLOAT, INT, ScalarType
+
+C_PRELUDE = r"""
+#include <stdio.h>
+#include <stdlib.h>
+#include <stdint.h>
+#include <string.h>
+#include <math.h>
+#include <time.h>
+
+typedef int32_t i32;
+typedef double f64;
+
+static uint32_t repro_rng_state = 0x12345678u;
+
+static inline uint32_t repro_rng_next(void) {
+    uint32_t x = repro_rng_state;
+    x ^= x << 13;
+    x ^= x >> 17;
+    x ^= x << 5;
+    repro_rng_state = x;
+    return x;
+}
+
+static inline f64 repro_randf(void) {
+    return (f64)(repro_rng_next() >> 8) / 16777216.0;
+}
+
+static inline i32 repro_randi(i32 bound) {
+    return (i32)(repro_rng_next() % (uint32_t)bound);
+}
+
+static inline f64 repro_round(f64 x) { return floor(x + 0.5); }
+static inline f64 repro_min_f64(f64 a, f64 b) { return a < b ? a : b; }
+static inline f64 repro_max_f64(f64 a, f64 b) { return a > b ? a : b; }
+static inline i32 repro_min_i32(i32 a, i32 b) { return a < b ? a : b; }
+static inline i32 repro_max_i32(i32 a, i32 b) { return a > b ? a : b; }
+static inline i32 repro_abs_i32(i32 a) { return a < 0 ? -a : a; }
+
+static int repro_print_mode = 0;
+static uint64_t repro_checksum = 1469598103934665603ull; /* FNV offset */
+static uint64_t repro_output_count = 0;
+
+static inline void repro_hash_u64(uint64_t bits) {
+    repro_checksum ^= bits;
+    repro_checksum *= 1099511628211ull; /* FNV prime */
+}
+
+static inline void repro_print_f64(f64 value) {
+    union { f64 d; uint64_t u; } pun;
+    pun.d = value;
+    repro_hash_u64(pun.u);
+    repro_output_count++;
+    if (repro_print_mode) {
+        printf("%.17g\n", value);
+    }
+}
+
+static inline void repro_print_i32(i32 value) {
+    repro_hash_u64((uint64_t)(uint32_t)value);
+    repro_output_count++;
+    if (repro_print_mode) {
+        printf("%d\n", (int)value);
+    }
+}
+
+static inline double repro_now(void) {
+    struct timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return (double)ts.tv_sec + (double)ts.tv_nsec * 1e-9;
+}
+"""
+
+C_MAIN = r"""
+int main(int argc, char **argv) {
+    long long iterations = 1;
+    if (argc > 1) {
+        iterations = atoll(argv[1]);
+    }
+    if (argc > 2 && strcmp(argv[2], "print") == 0) {
+        repro_print_mode = 1;
+    }
+    repro_setup();
+    repro_init_schedule();
+    double start = repro_now();
+    for (long long it = 0; it < iterations; it++) {
+        repro_steady();
+    }
+    double elapsed = repro_now() - start;
+    fprintf(stderr, "checksum %016llx\n",
+            (unsigned long long)repro_checksum);
+    fprintf(stderr, "outputs %llu\n",
+            (unsigned long long)repro_output_count);
+    fprintf(stderr, "seconds %.9f\n", elapsed);
+    return 0;
+}
+"""
+
+
+def c_type(ty: ScalarType) -> str:
+    if ty == INT or ty == BOOLEAN:
+        return "i32"
+    if ty == FLOAT:
+        return "f64"
+    raise ValueError(f"no C mapping for {ty}")
+
+
+def c_float_literal(value: float) -> str:
+    """A C literal that round-trips the exact double value."""
+    if value != value:  # NaN
+        return "(0.0/0.0)"
+    if value == float("inf"):
+        return "(1.0/0.0)"
+    if value == float("-inf"):
+        return "(-1.0/0.0)"
+    text = repr(float(value))
+    if "e" not in text and "." not in text and "inf" not in text:
+        text += ".0"
+    return text
+
+
+def c_int_literal(value: int) -> str:
+    # INT_MIN cannot be written as a plain literal in C.
+    if value == -2147483648:
+        return "(-2147483647 - 1)"
+    return str(value)
+
+
+def sanitize_ident(name: str) -> str:
+    out = "".join(ch if ch.isalnum() else "_" for ch in name)
+    if out and out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+INTRINSIC_C_NAMES = {
+    "sin": "sin", "cos": "cos", "tan": "tan", "asin": "asin",
+    "acos": "acos", "atan": "atan", "sinh": "sinh", "cosh": "cosh",
+    "tanh": "tanh", "exp": "exp", "log": "log", "log10": "log10",
+    "sqrt": "sqrt", "floor": "floor", "ceil": "ceil",
+    "round": "repro_round", "atan2": "atan2", "pow": "pow", "fmod": "fmod",
+    "randf": "repro_randf", "randi": "repro_randi",
+}
+
+
+def checksum_outputs(outputs: list[object]) -> int:
+    """The same FNV-style checksum the C runtime computes over its outputs.
+
+    Floats hash their IEEE-754 bit pattern, ints their 32-bit pattern, so
+    a Python interpreter run and a native run of the same program agree
+    bit-for-bit.
+    """
+    acc = 1469598103934665603
+    for value in outputs:
+        if isinstance(value, bool):
+            bits = int(value)
+        elif isinstance(value, int):
+            bits = value & 0xFFFFFFFF
+        else:
+            bits = struct.unpack("<Q", struct.pack("<d", float(value)))[0]
+        acc ^= bits
+        acc = (acc * 1099511628211) & 0xFFFFFFFFFFFFFFFF
+    return acc

@@ -1,0 +1,187 @@
+"""The LaminarIR C backend.
+
+Emits the lowered program as straight-line C: every token is a local
+scalar, state slots are statics, and loop-carried tokens are static
+variables updated two-phase at the end of each steady iteration.  This is
+the code whose dataflow is fully visible to the downstream C compiler —
+the paper's "enabling effect" measured natively in experiment E3.
+
+Temps referenced outside their defining section (possible after state
+promotion, e.g. a coefficient computed during setup and used every
+iteration) are emitted as statics; everything else is a block-local.
+"""
+
+from __future__ import annotations
+
+from repro.backend.common import (C_MAIN, C_PRELUDE, INTRINSIC_C_NAMES,
+                                  c_float_literal, c_int_literal, c_type)
+from repro.frontend.types import FLOAT, INT
+from repro.lir.ops import (BinOp, CallOp, CastOp, Const, LoadOp, MoveOp, Op,
+                           PrintOp, SelectOp, StoreOp, Temp, UnOp, Value)
+from repro.lir.program import Program
+
+_SECTION_NAMES = ("repro_setup", "repro_init_schedule", "repro_steady")
+
+
+class LaminarCBackend:
+    def __init__(self, program: Program):
+        self.program = program
+        self.cross_section: set[int] = set()
+        self.declared: set[int] = set()
+
+    # -- value naming ---------------------------------------------------------
+
+    def _name(self, temp: Temp) -> str:
+        return f"t{temp.id}"
+
+    def _value(self, value: Value) -> str:
+        if isinstance(value, Const):
+            if value.ty == INT:
+                return c_int_literal(value.value)  # type: ignore[arg-type]
+            if value.ty == FLOAT:
+                return c_float_literal(value.value)  # type: ignore
+            return "1" if value.value else "0"
+        assert isinstance(value, Temp)
+        return self._name(value)
+
+    # -- cross-section analysis --------------------------------------------------
+
+    def _analyze(self) -> None:
+        defined_in: dict[int, int] = {}
+        for param in self.program.carry_params:
+            self.cross_section.add(param.id)
+        for section, (_title, ops) in enumerate(self.program.sections()):
+            for op in ops:
+                if op.result is not None:
+                    defined_in[op.result.id] = section
+
+        def check_use(value: Value, section: int) -> None:
+            if isinstance(value, Temp) \
+                    and defined_in.get(value.id, -1) not in (-1, section):
+                self.cross_section.add(value.id)
+
+        for section, (_title, ops) in enumerate(self.program.sections()):
+            for op in ops:
+                for operand in op.operands():
+                    check_use(operand, section)
+        for value in self.program.carry_inits:
+            check_use(value, 1)  # assigned at the end of init
+        for value in self.program.carry_nexts:
+            check_use(value, 2)
+
+    # -- generation ------------------------------------------------------------------
+
+    def generate(self) -> str:
+        self._analyze()
+        chunks = [C_PRELUDE]
+
+        for slot in self.program.state_slots:
+            ty = c_type(slot.ty)
+            if slot.is_array:
+                chunks.append(f"static {ty} {slot.name}[{slot.size}];")
+            else:
+                chunks.append(f"static {ty} {slot.name} = 0;")
+
+        statics = sorted(self.cross_section)
+        types: dict[int, str] = {}
+        for param in self.program.carry_params:
+            types[param.id] = c_type(param.ty)
+        for _title, ops in self.program.sections():
+            for op in ops:
+                if op.result is not None:
+                    types[op.result.id] = c_type(op.result.ty)
+        for temp_id in statics:
+            chunks.append(f"static {types[temp_id]} t{temp_id};")
+
+        for section, (title, ops) in enumerate(self.program.sections()):
+            lines = [f"static void {_SECTION_NAMES[section]}(void)", "{"]
+            for op in ops:
+                lines.append("    " + self._op(op))
+            if section == 1:
+                for param, value in zip(self.program.carry_params,
+                                        self.program.carry_inits):
+                    lines.append(
+                        f"    {self._name(param)} = {self._value(value)};")
+            if section == 2 and self.program.carry_params:
+                lines.append("    /* rotate loop-carried tokens */")
+                for index, value in enumerate(self.program.carry_nexts):
+                    ty = c_type(self.program.carry_params[index].ty)
+                    lines.append(
+                        f"    {ty} n{index} = {self._value(value)};")
+                for index, param in enumerate(self.program.carry_params):
+                    lines.append(f"    {self._name(param)} = n{index};")
+            lines.append("}")
+            chunks.append("\n".join(lines))
+
+        chunks.append(C_MAIN)
+        return "\n".join(chunks)
+
+    # -- op translation ----------------------------------------------------------------
+
+    def _define(self, temp: Temp, rhs: str) -> str:
+        if temp.id in self.cross_section:
+            return f"{self._name(temp)} = {rhs};"
+        return f"{c_type(temp.ty)} {self._name(temp)} = {rhs};"
+
+    def _op(self, op: Op) -> str:
+        if isinstance(op, BinOp):
+            assert op.result is not None
+            rhs = f"{self._value(op.lhs)} {op.op} {self._value(op.rhs)}"
+            return self._define(op.result, rhs)
+        if isinstance(op, UnOp):
+            assert op.result is not None
+            return self._define(op.result,
+                                f"{op.op}{self._value(op.operand)}")
+        if isinstance(op, CastOp):
+            assert op.result is not None
+            rhs = f"({c_type(op.result.ty)}){self._value(op.operand)}"
+            return self._define(op.result, rhs)
+        if isinstance(op, SelectOp):
+            assert op.result is not None
+            rhs = (f"{self._value(op.cond)} ? {self._value(op.then)} : "
+                   f"{self._value(op.otherwise)}")
+            return self._define(op.result, rhs)
+        if isinstance(op, CallOp):
+            assert op.result is not None
+            return self._define(op.result, self._call(op))
+        if isinstance(op, LoadOp):
+            assert op.result is not None
+            if op.index is None:
+                return self._define(op.result, op.slot.name)
+            return self._define(
+                op.result, f"{op.slot.name}[{self._value(op.index)}]")
+        if isinstance(op, StoreOp):
+            target = op.slot.name
+            if op.index is not None:
+                target = f"{target}[{self._value(op.index)}]"
+            return f"{target} = {self._value(op.value)};"
+        if isinstance(op, MoveOp):
+            assert op.result is not None
+            return self._define(op.result, self._value(op.src))
+        if isinstance(op, PrintOp):
+            ty = op.value.ty
+            fn = "repro_print_f64" if ty == FLOAT else "repro_print_i32"
+            return f"{fn}({self._value(op.value)});"
+        raise AssertionError(type(op).__name__)
+
+    def _call(self, op: CallOp) -> str:
+        if op.name in ("abs", "min", "max"):
+            all_int = all(a.ty == INT for a in op.args)
+            if all_int:
+                args = ", ".join(self._value(a) for a in op.args)
+                return f"repro_{op.name}_i32({args})"
+            args = ", ".join(f"(f64){self._value(a)}" for a in op.args)
+            if op.name == "abs":
+                return f"fabs({args})"
+            return f"repro_{op.name}_f64({args})"
+        c_name = INTRINSIC_C_NAMES[op.name]
+        if op.name in ("randf", "randi"):
+            args = ", ".join(self._value(a) for a in op.args)
+        else:
+            args = ", ".join(f"(f64){self._value(a)}" for a in op.args)
+        return f"{c_name}({args})"
+
+
+def generate_laminar_c(program: Program) -> str:
+    """Generate the complete LaminarIR C program."""
+    return LaminarCBackend(program).generate()

@@ -1,0 +1,108 @@
+"""Native harness: compile generated C with the host compiler and run it.
+
+Used by the correctness tests (native output == interpreter output) and by
+the host-platform column of the speedup experiment (E3).
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+DEFAULT_CFLAGS = ("-O3", "-fwrapv", "-std=gnu11")
+
+
+class NativeToolchainError(RuntimeError):
+    pass
+
+
+def find_compiler() -> str | None:
+    for candidate in ("cc", "gcc", "clang"):
+        path = shutil.which(candidate)
+        if path is not None:
+            return path
+    return None
+
+
+@dataclass
+class NativeRun:
+    """Result of one native execution."""
+
+    checksum: int
+    output_count: int
+    seconds: float
+    outputs: list[float | int]  # populated only in print mode
+
+
+def compile_c(code: str, workdir: Path | None = None,
+              cflags: tuple[str, ...] = DEFAULT_CFLAGS,
+              name: str = "prog") -> Path:
+    """Compile ``code`` and return the binary path."""
+    compiler = find_compiler()
+    if compiler is None:
+        raise NativeToolchainError("no C compiler found on PATH")
+    if workdir is None:
+        workdir = Path(tempfile.mkdtemp(prefix="repro_native_"))
+    workdir.mkdir(parents=True, exist_ok=True)
+    src = workdir / f"{name}.c"
+    binary = workdir / name
+    src.write_text(code)
+    result = subprocess.run(
+        [compiler, *cflags, str(src), "-o", str(binary), "-lm"],
+        capture_output=True, text=True)
+    if result.returncode != 0:
+        raise NativeToolchainError(
+            f"C compilation failed:\n{result.stderr[:4000]}")
+    return binary
+
+
+def run_binary(binary: Path, iterations: int,
+               print_outputs: bool = False,
+               timeout: float = 300.0) -> NativeRun:
+    mode = "print" if print_outputs else "time"
+    result = subprocess.run(
+        [str(binary), str(iterations), mode],
+        capture_output=True, text=True, timeout=timeout)
+    if result.returncode != 0:
+        raise NativeToolchainError(
+            f"native run failed (exit {result.returncode}):\n"
+            f"{result.stderr[:2000]}")
+    checksum = 0
+    count = 0
+    seconds = 0.0
+    for line in result.stderr.splitlines():
+        parts = line.split()
+        if len(parts) != 2:
+            continue
+        if parts[0] == "checksum":
+            checksum = int(parts[1], 16)
+        elif parts[0] == "outputs":
+            count = int(parts[1])
+        elif parts[0] == "seconds":
+            seconds = float(parts[1])
+    outputs: list[float | int] = []
+    if print_outputs:
+        for line in result.stdout.splitlines():
+            text = line.strip()
+            if not text:
+                continue
+            outputs.append(int(text) if _is_int(text) else float(text))
+    return NativeRun(checksum=checksum, output_count=count, seconds=seconds,
+                     outputs=outputs)
+
+
+def _is_int(text: str) -> bool:
+    if text.startswith("-"):
+        text = text[1:]
+    return text.isdigit()
+
+
+def compile_and_run(code: str, iterations: int,
+                    print_outputs: bool = False,
+                    workdir: Path | None = None,
+                    name: str = "prog") -> NativeRun:
+    binary = compile_c(code, workdir=workdir, name=name)
+    return run_binary(binary, iterations, print_outputs=print_outputs)

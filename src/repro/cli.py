@@ -1,0 +1,200 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``run FILE -n N``
+    Execute a program through both routes, verify equivalence, print the
+    output stream.
+``emit FILE --form lir|c|fifo-c``
+    Print the LaminarIR text form or either generated C program.
+``graph FILE``
+    Print the flat stream graph and schedule summary.
+``report NAME``
+    Evaluate one suite benchmark and print the paper's metrics for it.
+``list``
+    List the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.api import (CompiledStream, check_equivalence, compile_file)
+from repro.evaluation import evaluate_stream, format_table
+from repro.frontend.errors import CompileError
+from repro.lir import LoweringOptions
+from repro.machine import PLATFORMS
+from repro.opt import OptOptions
+from repro.suite import BENCHMARKS, benchmark_names, load_benchmark
+
+
+def _options(args: argparse.Namespace) -> tuple[LoweringOptions,
+                                                OptOptions]:
+    lowering = LoweringOptions(
+        eliminate_splitjoin=not getattr(args, "no_elim", False))
+    opt = OptOptions.none() if getattr(args, "no_opt", False) \
+        else OptOptions()
+    return lowering, opt
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    stream = compile_file(args.file)
+    lowering, opt = _options(args)
+    report = check_equivalence(stream, iterations=args.iterations,
+                               lowering=lowering, opt=opt)
+    if not report.matches:
+        print("error: FIFO and LaminarIR outputs diverge", file=sys.stderr)
+        return 1
+    if not args.quiet:
+        for value in report.laminar.outputs:
+            print(value)
+    fifo = report.fifo.steady_counters
+    laminar = report.laminar.steady_counters
+    print(f"# {len(report.laminar.outputs)} outputs over "
+          f"{args.iterations} iterations; checksum "
+          f"{report.checksum:016x}", file=sys.stderr)
+    print(f"# steady ops/iter: fifo={fifo.total_ops / args.iterations:.0f} "
+          f"laminar={laminar.total_ops / args.iterations:.0f}; "
+          f"memory: {fifo.memory_accesses / args.iterations:.0f} -> "
+          f"{laminar.memory_accesses / args.iterations:.0f}",
+          file=sys.stderr)
+    return 0
+
+
+def cmd_emit(args: argparse.Namespace) -> int:
+    stream = compile_file(args.file)
+    lowering, opt = _options(args)
+    if args.form == "lir":
+        print(stream.lower(lowering, opt).program.dump())
+    elif args.form == "c":
+        print(stream.laminar_c(lowering, opt))
+    elif args.form == "fifo-c":
+        print(stream.fifo_c())
+    return 0
+
+
+def _print_graph(stream: CompiledStream) -> None:
+    print(f"stream graph of {stream.name}:")
+    reps = stream.schedule.reps
+    for vertex in stream.graph.topological_order():
+        kind = vertex.kind.replace("Vertex", "").lower()
+        print(f"  [{kind:8s}] {vertex.name}  x{reps[vertex]}/iter")
+    print("channels:")
+    for channel in stream.graph.channels:
+        extra = f" (+{len(channel.initial)} initial)" if channel.initial \
+            else ""
+        print(f"  {channel.name}: {channel.src.name} -> "
+              f"{channel.dst.name} : {channel.ty}{extra}")
+    stats = stream.stats()
+    print(f"schedule: {stats['init_firings']} init firings, "
+          f"{stats['steady_firings']} steady firings")
+
+
+def cmd_graph(args: argparse.Namespace) -> int:
+    stream = compile_file(args.file)
+    if args.dot:
+        from repro.graph import to_dot
+        print(to_dot(stream.graph, stream.schedule.reps))
+    else:
+        _print_graph(stream)
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    if args.name not in BENCHMARKS:
+        print(f"unknown benchmark {args.name!r}; see `python -m repro "
+              "list`", file=sys.stderr)
+        return 1
+    stream = load_benchmark(args.name)
+    record = evaluate_stream(args.name, stream,
+                             iterations=args.iterations)
+    print(f"benchmark: {args.name} — {BENCHMARKS[args.name].description}")
+    print(f"outputs match: {record.outputs_match}")
+    print(f"data communication: -{record.comm.reduction * 100:.1f}%")
+    print(f"memory accesses:    -{record.memory_reduction * 100:.1f}% "
+          "(counted)")
+    rows = []
+    for model in PLATFORMS.values():
+        rows.append([model.name,
+                     f"{record.speedup(model):.2f}x",
+                     f"-{record.energy_saving(model) * 100:.1f}%",
+                     str(record.spills.get(model.name, 0))])
+    print(format_table(["platform (modeled)", "speedup", "energy",
+                        "spilled values"], rows))
+    return 0
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    rows = []
+    for name in benchmark_names(include_extras=True):
+        info = BENCHMARKS[name]
+        suite = "extra" if info.extra else "paper"
+        rows.append([name, suite, info.domain, info.description])
+    print(format_table(["benchmark", "suite", "domain", "description"],
+                       rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LaminarIR: compile-time queues for structured "
+                    "streams (PLDI 2015 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="execute a program via both routes")
+    run.add_argument("file")
+    run.add_argument("-n", "--iterations", type=int, default=10)
+    run.add_argument("--quiet", action="store_true",
+                     help="suppress the output stream")
+    run.add_argument("--no-elim", action="store_true",
+                     help="disable splitter/joiner elimination")
+    run.add_argument("--no-opt", action="store_true",
+                     help="disable the optimizer")
+    run.set_defaults(func=cmd_run)
+
+    emit = sub.add_parser("emit", help="print lowered/generated code")
+    emit.add_argument("file")
+    emit.add_argument("--form", choices=("lir", "c", "fifo-c"),
+                      default="lir")
+    emit.add_argument("--no-elim", action="store_true")
+    emit.add_argument("--no-opt", action="store_true")
+    emit.set_defaults(func=cmd_emit)
+
+    graph = sub.add_parser("graph", help="print the flat stream graph")
+    graph.add_argument("file")
+    graph.add_argument("--dot", action="store_true",
+                       help="emit Graphviz DOT instead of text")
+    graph.set_defaults(func=cmd_graph)
+
+    report = sub.add_parser("report",
+                            help="paper metrics for a suite benchmark")
+    report.add_argument("name")
+    report.add_argument("-n", "--iterations", type=int, default=4)
+    report.set_defaults(func=cmd_report)
+
+    lst = sub.add_parser("list", help="list the benchmark suite")
+    lst.set_defaults(func=cmd_list)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except CompileError as error:
+        print(error.format(), file=sys.stderr)
+        return 1
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # stdout closed early (e.g. piped into `head`); exit quietly.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

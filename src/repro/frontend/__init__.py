@@ -1,0 +1,23 @@
+"""Frontend for the StreamIt-subset language: lexing, parsing, semantics."""
+
+from repro.frontend.ast_nodes import Program
+from repro.frontend.errors import (CompileError, ElaborationError,
+                                   InterpError, LexError, LoweringError,
+                                   ParseError, RateError, ScheduleError,
+                                   SemanticError, SourceLocation)
+from repro.frontend.lexer import Token, tokenize
+from repro.frontend.parser import parse
+from repro.frontend.semantic import analyze
+
+
+def parse_and_check(source: str, filename: str = "<string>") -> Program:
+    """Parse and type-check ``source`` in one step."""
+    return analyze(parse(source, filename))
+
+
+__all__ = [
+    "CompileError", "ElaborationError", "InterpError", "LexError",
+    "LoweringError", "ParseError", "Program", "RateError", "ScheduleError",
+    "SemanticError", "SourceLocation", "Token", "analyze", "parse",
+    "parse_and_check", "tokenize",
+]

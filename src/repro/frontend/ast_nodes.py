@@ -1,0 +1,308 @@
+"""AST for the StreamIt-subset language.
+
+Node classes are plain dataclasses.  Every node carries a source location;
+expression nodes additionally get a ``ty`` slot filled in by semantic
+analysis (:mod:`repro.frontend.semantic`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.frontend.errors import SourceLocation, UNKNOWN_LOCATION
+from repro.frontend.types import Type
+
+
+@dataclass
+class Node:
+    loc: SourceLocation = field(default=UNKNOWN_LOCATION, kw_only=True)
+
+
+# -- expressions -----------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    ty: Type | None = field(default=None, kw_only=True)
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class BoolLit(Expr):
+    value: bool = False
+
+
+@dataclass
+class StringLit(Expr):
+    value: str = ""
+
+
+@dataclass
+class Ident(Expr):
+    name: str = ""
+
+
+@dataclass
+class UnaryOp(Expr):
+    op: str = ""  # "-", "!", "~"
+    operand: Expr | None = None
+
+
+@dataclass
+class BinaryOp(Expr):
+    op: str = ""  # arithmetic / comparison / logical / bitwise
+    left: Expr | None = None
+    right: Expr | None = None
+
+
+@dataclass
+class TernaryOp(Expr):
+    cond: Expr | None = None
+    then: Expr | None = None
+    otherwise: Expr | None = None
+
+
+@dataclass
+class Cast(Expr):
+    target: Type | None = None
+    operand: Expr | None = None
+
+
+@dataclass
+class Call(Expr):
+    """Intrinsic call (``sin``, ``sqrt``, …) or filter-helper call."""
+
+    name: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Index(Expr):
+    base: Expr | None = None
+    index: Expr | None = None
+
+
+@dataclass
+class PeekExpr(Expr):
+    offset: Expr | None = None
+
+
+@dataclass
+class PopExpr(Expr):
+    pass
+
+
+# -- statements ------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class VarDecl(Stmt):
+    var_type: Type | None = None
+    name: str = ""
+    # Unresolved per-dimension size expressions for array declarations;
+    # scalar declarations leave this empty.
+    dims: list[Expr] = field(default_factory=list)
+    init: Expr | None = None
+
+
+@dataclass
+class Assign(Stmt):
+    target: Expr | None = None  # Ident or Index chain
+    op: str = "="  # "=", "+=", "-=", "*=", "/=", ...
+    value: Expr | None = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr | None = None
+
+
+@dataclass
+class PushStmt(Stmt):
+    value: Expr | None = None
+
+
+@dataclass
+class PrintStmt(Stmt):
+    value: Expr | None = None
+    newline: bool = True
+
+
+@dataclass
+class IfStmt(Stmt):
+    cond: Expr | None = None
+    then: Stmt | None = None
+    otherwise: Stmt | None = None
+
+
+@dataclass
+class ForStmt(Stmt):
+    init: Stmt | None = None
+    cond: Expr | None = None
+    step: Stmt | None = None
+    body: Stmt | None = None
+
+
+@dataclass
+class WhileStmt(Stmt):
+    cond: Expr | None = None
+    body: Stmt | None = None
+
+
+@dataclass
+class DoWhileStmt(Stmt):
+    body: Stmt | None = None
+    cond: Expr | None = None
+
+
+@dataclass
+class Block(Stmt):
+    stmts: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Expr | None = None
+
+
+@dataclass
+class BreakStmt(Stmt):
+    pass
+
+
+@dataclass
+class ContinueStmt(Stmt):
+    pass
+
+
+# -- stream declarations ----------------------------------------------------
+
+
+@dataclass
+class Param(Node):
+    ty: Type | None = None
+    name: str = ""
+
+
+@dataclass
+class FieldDecl(Node):
+    ty: Type | None = None
+    name: str = ""
+    dims: list[Expr] = field(default_factory=list)
+    init: Expr | None = None
+
+
+@dataclass
+class HelperFunc(Node):
+    return_type: Type | None = None
+    name: str = ""
+    params: list[Param] = field(default_factory=list)
+    body: Block | None = None
+
+
+@dataclass
+class WorkDecl(Node):
+    push_rate: Expr | None = None
+    pop_rate: Expr | None = None
+    peek_rate: Expr | None = None
+    body: Block | None = None
+
+
+@dataclass
+class StreamDecl(Node):
+    name: str = ""
+    in_type: Type | None = None
+    out_type: Type | None = None
+    params: list[Param] = field(default_factory=list)
+
+
+@dataclass
+class FilterDecl(StreamDecl):
+    fields: list[FieldDecl] = field(default_factory=list)
+    helpers: list[HelperFunc] = field(default_factory=list)
+    init: Block | None = None
+    work: WorkDecl | None = None
+    # Optional one-shot body executed as the filter's very first firing,
+    # with its own rates (StreamIt `prework`); used e.g. by delay filters.
+    prework: WorkDecl | None = None
+
+
+@dataclass
+class AddStmt(Stmt):
+    """``add Child(args);`` inside a composite body."""
+
+    child: str = ""
+    args: list[Expr] = field(default_factory=list)
+    anonymous: StreamDecl | None = None  # inline anonymous child
+
+
+@dataclass
+class SplitDecl(Node):
+    kind: str = "duplicate"  # "duplicate" | "roundrobin"
+    weights: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class JoinDecl(Node):
+    kind: str = "roundrobin"
+    weights: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class PipelineDecl(StreamDecl):
+    body: Block | None = None  # AddStmt / VarDecl / ForStmt / IfStmt
+
+
+@dataclass
+class SplitJoinDecl(StreamDecl):
+    split: SplitDecl | None = None
+    join: JoinDecl | None = None
+    body: Block | None = None
+
+
+@dataclass
+class EnqueueStmt(Stmt):
+    value: Expr | None = None
+
+
+@dataclass
+class FeedbackLoopDecl(StreamDecl):
+    join: JoinDecl | None = None
+    split: SplitDecl | None = None
+    body_add: AddStmt | None = None
+    loop_add: AddStmt | None = None
+    enqueues: list[EnqueueStmt] = field(default_factory=list)
+
+
+@dataclass
+class Program(Node):
+    streams: list[StreamDecl] = field(default_factory=list)
+    source: str = ""
+    filename: str = "<string>"
+
+    def stream(self, name: str) -> StreamDecl:
+        for decl in self.streams:
+            if decl.name == name:
+                return decl
+        raise KeyError(name)
+
+    @property
+    def top(self) -> StreamDecl:
+        """The top-level stream: the last declaration, StreamIt-style."""
+        if not self.streams:
+            raise ValueError("empty program")
+        return self.streams[-1]

@@ -1,0 +1,95 @@
+"""Diagnostics for the StreamIt-subset frontend and the LaminarIR pipeline.
+
+Every error raised by the compiler carries a :class:`SourceLocation` so that
+messages can point at the offending token, StreamIt-style::
+
+    fm_radio.str:12:9: rate error: work body popped 3 tokens, declared pop 2
+            pop();
+            ^
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """A position inside a source file (1-based line and column)."""
+
+    filename: str = "<string>"
+    line: int = 0
+    column: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.filename}:{self.line}:{self.column}"
+
+
+UNKNOWN_LOCATION = SourceLocation()
+
+
+class CompileError(Exception):
+    """Base class for every error produced by the compilation pipeline."""
+
+    kind = "error"
+
+    def __init__(self, message: str, loc: SourceLocation = UNKNOWN_LOCATION,
+                 source: str | None = None):
+        self.message = message
+        self.loc = loc
+        self.source = source
+        super().__init__(self.format())
+
+    def format(self) -> str:
+        """Render the diagnostic, with a source excerpt when available."""
+        head = f"{self.loc}: {self.kind}: {self.message}"
+        if self.source is None or self.loc.line <= 0:
+            return head
+        lines = self.source.splitlines()
+        if self.loc.line > len(lines):
+            return head
+        excerpt = lines[self.loc.line - 1]
+        caret = " " * max(self.loc.column - 1, 0) + "^"
+        return f"{head}\n{excerpt}\n{caret}"
+
+
+class LexError(CompileError):
+    kind = "lex error"
+
+
+class ParseError(CompileError):
+    kind = "parse error"
+
+
+class SemanticError(CompileError):
+    kind = "semantic error"
+
+
+class ElaborationError(CompileError):
+    """Raised while instantiating the hierarchical stream graph."""
+
+    kind = "elaboration error"
+
+
+class RateError(CompileError):
+    """Raised when declared push/pop/peek rates are inconsistent."""
+
+    kind = "rate error"
+
+
+class ScheduleError(CompileError):
+    """Raised when no valid initialization or steady-state schedule exists."""
+
+    kind = "schedule error"
+
+
+class LoweringError(CompileError):
+    """Raised when a program cannot be lowered to LaminarIR."""
+
+    kind = "lowering error"
+
+
+class InterpError(CompileError):
+    """Raised on a run-time fault inside one of the interpreters."""
+
+    kind = "interpreter error"

@@ -1,0 +1,202 @@
+"""Tokenizer for the StreamIt-subset language.
+
+The lexer is a straightforward maximal-munch scanner.  It produces a flat
+list of :class:`Token` objects terminated by an ``EOF`` token; the parser
+never needs to touch raw text again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.frontend.errors import LexError, SourceLocation
+
+KEYWORDS = frozenset({
+    "filter", "pipeline", "splitjoin", "feedbackloop",
+    "split", "join", "duplicate", "roundrobin", "enqueue",
+    "add", "body", "loop",
+    "work", "init", "prework", "push", "pop", "peek",
+    "int", "float", "boolean", "void", "complex",
+    "if", "else", "for", "while", "do", "return", "break", "continue",
+    "true", "false", "pi", "println", "print",
+})
+
+# Multi-character operators first so maximal munch picks them over prefixes.
+OPERATORS = (
+    "<<=", ">>=",
+    "->", "++", "--", "&&", "||", "==", "!=", "<=", ">=", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^",
+    "(", ")", "{", "}", "[", "]", ",", ";", ":", "?", ".",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``kind`` is one of ``"ident"``, ``"int_lit"``, ``"float_lit"``,
+    ``"string"``, a keyword spelling, or an operator spelling.  Keywords
+    and operators use their own text as the kind, which keeps parser code
+    readable (``self._expect("->")``); literal kinds carry the ``_lit``
+    suffix so they can never collide with the ``int``/``float`` type
+    keywords.
+    """
+
+    kind: str
+    text: str
+    loc: SourceLocation
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind!r}, {self.text!r}, {self.loc})"
+
+
+class Lexer:
+    """Scans source text into tokens."""
+
+    def __init__(self, source: str, filename: str = "<string>"):
+        self.source = source
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def tokenize(self) -> list[Token]:
+        tokens: list[Token] = []
+        while True:
+            self._skip_trivia()
+            if self.pos >= len(self.source):
+                tokens.append(Token("eof", "", self._loc()))
+                return tokens
+            tokens.append(self._next_token())
+
+    # -- internals ---------------------------------------------------------
+
+    def _loc(self) -> SourceLocation:
+        return SourceLocation(self.filename, self.line, self.column)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.source[index] if index < len(self.source) else ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos >= len(self.source):
+                return
+            if self.source[self.pos] == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+            self.pos += 1
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._skip_block_comment()
+            else:
+                return
+
+    def _skip_block_comment(self) -> None:
+        start = self._loc()
+        self._advance(2)
+        while self.pos < len(self.source):
+            if self._peek() == "*" and self._peek(1) == "/":
+                self._advance(2)
+                return
+            self._advance()
+        raise LexError("unterminated block comment", start, self.source)
+
+    def _next_token(self) -> Token:
+        loc = self._loc()
+        ch = self._peek()
+        if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+            return self._lex_number(loc)
+        if ch.isalpha() or ch == "_":
+            return self._lex_word(loc)
+        if ch == '"':
+            return self._lex_string(loc)
+        for op in OPERATORS:
+            if self.source.startswith(op, self.pos):
+                self._advance(len(op))
+                return Token(op, op, loc)
+        raise LexError(f"unexpected character {ch!r}", loc, self.source)
+
+    def _lex_number(self, loc: SourceLocation) -> Token:
+        start = self.pos
+        is_float = False
+        if self._peek() == "0" and self._peek(1) in ("x", "X"):
+            self._advance(2)
+            if not _is_hex_digit(self._peek()):
+                raise LexError("invalid hex literal", loc, self.source)
+            while _is_hex_digit(self._peek()):
+                self._advance()
+            return Token("int_lit", self.source[start:self.pos], loc)
+        while self._peek().isdigit():
+            self._advance()
+        if self._peek() == "." and self._peek(1) != ".":
+            is_float = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek() in "eE" and (
+                self._peek(1).isdigit()
+                or (self._peek(1) in "+-" and self._peek(2).isdigit())):
+            is_float = True
+            self._advance()
+            if self._peek() in "+-":
+                self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        text = self.source[start:self.pos]
+        # StreamIt float literals may carry an `f` suffix; accept and drop it.
+        if self._peek() != "" and self._peek() in "fF":
+            is_float = True
+            self._advance()
+        return Token("float_lit" if is_float else "int_lit", text, loc)
+
+    def _lex_word(self, loc: SourceLocation) -> Token:
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self.source[start:self.pos]
+        kind = text if text in KEYWORDS else "ident"
+        return Token(kind, text, loc)
+
+    def _lex_string(self, loc: SourceLocation) -> Token:
+        self._advance()
+        chars: list[str] = []
+        while True:
+            ch = self._peek()
+            if ch == "":
+                raise LexError("unterminated string literal", loc, self.source)
+            if ch == '"':
+                self._advance()
+                return Token("string", "".join(chars), loc)
+            if ch == "\\":
+                self._advance()
+                escape = self._peek()
+                mapping = {"n": "\n", "t": "\t", '"': '"', "\\": "\\"}
+                if escape not in mapping:
+                    raise LexError(f"unknown escape \\{escape}", self._loc(),
+                                   self.source)
+                chars.append(mapping[escape])
+                self._advance()
+            else:
+                chars.append(ch)
+                self._advance()
+
+
+def _is_hex_digit(ch: str) -> bool:
+    return ch != "" and ch in "0123456789abcdefABCDEF"
+
+
+def tokenize(source: str, filename: str = "<string>") -> list[Token]:
+    """Convenience wrapper: tokenize ``source`` into a token list."""
+    return Lexer(source, filename).tokenize()

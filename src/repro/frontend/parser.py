@@ -1,0 +1,654 @@
+"""Recursive-descent parser for the StreamIt-subset language.
+
+Grammar highlights (close to StreamIt 2.x):
+
+* top level: ``[in -> out] filter|pipeline|splitjoin|feedbackloop Name(params) {...}``
+* filters: field declarations, helper functions, ``init`` block and one
+  ``work push P pop O peek K { ... }`` block
+* composite bodies may use ``add`` inside ``for``/``if`` so graph shapes can
+  be parameterized
+* expressions are C-like with ``peek(i)``/``pop()`` usable as values
+
+The parser performs no name resolution; it only builds the AST defined in
+:mod:`repro.frontend.ast_nodes`.
+"""
+
+from __future__ import annotations
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend.errors import ParseError, SourceLocation
+from repro.frontend.lexer import Token, tokenize
+from repro.frontend.types import ArrayType, Type, scalar
+
+_TYPE_KEYWORDS = ("int", "float", "boolean", "void")
+_STREAM_KINDS = ("filter", "pipeline", "splitjoin", "feedbackloop")
+
+_ASSIGN_OPS = ("=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+               "<<=", ">>=")
+
+# Binary operator precedence, low to high.  Each level is left-associative.
+_PRECEDENCE: list[tuple[str, ...]] = [
+    ("||",),
+    ("&&",),
+    ("|",),
+    ("^",),
+    ("&",),
+    ("==", "!="),
+    ("<", "<=", ">", ">="),
+    ("<<", ">>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+]
+
+
+class Parser:
+    def __init__(self, source: str, filename: str = "<string>"):
+        self.source = source
+        self.filename = filename
+        self.tokens = tokenize(source, filename)
+        self.pos = 0
+        self._anon_counter = 0
+
+    # -- token helpers -------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _at(self, *kinds: str) -> bool:
+        return self._peek().kind in kinds
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def _accept(self, kind: str) -> Token | None:
+        if self._at(kind):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, context: str = "") -> Token:
+        if self._at(kind):
+            return self._advance()
+        where = f" in {context}" if context else ""
+        actual = self._peek()
+        raise ParseError(
+            f"expected {kind!r}{where}, found {actual.text!r}",
+            actual.loc, self.source)
+
+    def _error(self, message: str, loc: SourceLocation | None = None) -> ParseError:
+        return ParseError(message, loc or self._peek().loc, self.source)
+
+    # -- entry point ---------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        streams: list[ast.StreamDecl] = []
+        while not self._at("eof"):
+            streams.append(self._parse_stream_decl())
+        if not streams:
+            raise self._error("empty program: expected a stream declaration")
+        return ast.Program(streams=streams, source=self.source,
+                           filename=self.filename)
+
+    # -- stream declarations --------------------------------------------------
+
+    def _parse_type_signature(self) -> tuple[Type | None, Type | None]:
+        if self._at(*_TYPE_KEYWORDS):
+            in_type = self._parse_type(allow_array=True)
+            self._expect("->", "stream type signature")
+            out_type = self._parse_type(allow_array=True)
+            return in_type, out_type
+        return None, None
+
+    def _parse_stream_decl(self, anonymous: bool = False) -> ast.StreamDecl:
+        loc = self._peek().loc
+        in_type, out_type = self._parse_type_signature()
+        if not self._at(*_STREAM_KINDS):
+            raise self._error(
+                f"expected stream kind, found {self._peek().text!r}")
+        kind = self._advance().kind
+
+        if anonymous and not self._at("ident"):
+            name = self._fresh_anon_name(kind)
+            params: list[ast.Param] = []
+        else:
+            name = self._expect("ident", f"{kind} declaration").text
+            params = self._parse_params()
+
+        if kind == "filter":
+            decl: ast.StreamDecl = self._parse_filter_body(
+                name, in_type, out_type, params, loc)
+        elif kind == "pipeline":
+            decl = ast.PipelineDecl(
+                name=name, in_type=in_type, out_type=out_type, params=params,
+                body=self._parse_composite_block(), loc=loc)
+        elif kind == "splitjoin":
+            decl = self._parse_splitjoin_body(
+                name, in_type, out_type, params, loc)
+        else:
+            decl = self._parse_feedbackloop_body(
+                name, in_type, out_type, params, loc)
+        return decl
+
+    def _fresh_anon_name(self, kind: str) -> str:
+        self._anon_counter += 1
+        return f"_Anon{kind.capitalize()}{self._anon_counter}"
+
+    def _parse_params(self) -> list[ast.Param]:
+        params: list[ast.Param] = []
+        if not self._accept("("):
+            return params
+        if not self._at(")"):
+            while True:
+                loc = self._peek().loc
+                ty = self._parse_type(allow_array=True)
+                name = self._expect("ident", "parameter").text
+                params.append(ast.Param(ty=ty, name=name, loc=loc))
+                if not self._accept(","):
+                    break
+        self._expect(")", "parameter list")
+        return params
+
+    # -- types ----------------------------------------------------------------
+
+    def _parse_type(self, allow_array: bool = False) -> Type:
+        token = self._peek()
+        if token.kind not in _TYPE_KEYWORDS:
+            raise self._error(f"expected a type, found {token.text!r}")
+        self._advance()
+        ty: Type = scalar(token.kind)
+        # StreamIt spells array types `float[N]`; sizes are expressions that
+        # elaboration resolves, so here we only count the dimensions.  The
+        # size expressions are re-parsed by the declaration parsers, so this
+        # form is only legal where those parsers call us.
+        return ty
+
+    def _parse_dims(self) -> list[ast.Expr]:
+        """Parse zero or more ``[expr]`` suffixes (array dimensions)."""
+        dims: list[ast.Expr] = []
+        while self._accept("["):
+            dims.append(self._parse_expr())
+            self._expect("]", "array dimension")
+        return dims
+
+    # -- filter ----------------------------------------------------------------
+
+    def _parse_filter_body(self, name: str, in_type: Type | None,
+                           out_type: Type | None, params: list[ast.Param],
+                           loc: SourceLocation) -> ast.FilterDecl:
+        self._expect("{", "filter body")
+        fields: list[ast.FieldDecl] = []
+        helpers: list[ast.HelperFunc] = []
+        init_block: ast.Block | None = None
+        work: ast.WorkDecl | None = None
+        prework: ast.WorkDecl | None = None
+
+        while not self._at("}"):
+            if self._at("init"):
+                if init_block is not None:
+                    raise self._error("duplicate init block")
+                self._advance()
+                init_block = self._parse_block()
+            elif self._at("work"):
+                if work is not None:
+                    raise self._error("duplicate work block")
+                work = self._parse_work()
+            elif self._at("prework"):
+                if prework is not None:
+                    raise self._error("duplicate prework block")
+                prework = self._parse_work()
+            elif self._at(*_TYPE_KEYWORDS):
+                self._parse_field_or_helper(fields, helpers)
+            else:
+                raise self._error(
+                    f"unexpected token {self._peek().text!r} in filter body")
+        self._expect("}", "filter body")
+
+        if work is None:
+            raise ParseError(f"filter {name} has no work block", loc,
+                             self.source)
+        return ast.FilterDecl(
+            name=name, in_type=in_type, out_type=out_type, params=params,
+            fields=fields, helpers=helpers, init=init_block, work=work,
+            prework=prework, loc=loc)
+
+    def _parse_field_or_helper(self, fields: list[ast.FieldDecl],
+                               helpers: list[ast.HelperFunc]) -> None:
+        loc = self._peek().loc
+        ty = self._parse_type()
+        type_dims = self._parse_dims()  # `float[N] xs;` form
+        name = self._expect("ident", "field or helper declaration").text
+        if self._at("(") and not type_dims:
+            helpers.append(self._parse_helper(ty, name, loc))
+            return
+        while True:
+            decl_dims = self._parse_dims()  # `float xs[N];` form
+            init = self._parse_expr() if self._accept("=") else None
+            fields.append(ast.FieldDecl(
+                ty=ty, name=name, dims=type_dims + decl_dims, init=init,
+                loc=loc))
+            if not self._accept(","):
+                break
+            name = self._expect("ident", "field declaration").text
+        self._expect(";", "field declaration")
+
+    def _parse_helper(self, return_type: Type, name: str,
+                      loc: SourceLocation) -> ast.HelperFunc:
+        params = self._parse_params()
+        body = self._parse_block()
+        return ast.HelperFunc(return_type=return_type, name=name,
+                              params=params, body=body, loc=loc)
+
+    def _parse_work(self) -> ast.WorkDecl:
+        loc = self._advance().loc  # consume `work` / `prework`
+        push_rate = pop_rate = peek_rate = None
+        while self._at("push", "pop", "peek"):
+            which = self._advance().kind
+            rate = self._parse_expr()
+            if which == "push":
+                push_rate = rate
+            elif which == "pop":
+                pop_rate = rate
+            else:
+                peek_rate = rate
+        body = self._parse_block()
+        return ast.WorkDecl(push_rate=push_rate, pop_rate=pop_rate,
+                            peek_rate=peek_rate, body=body, loc=loc)
+
+    # -- composites -------------------------------------------------------------
+
+    def _parse_composite_block(self) -> ast.Block:
+        loc = self._expect("{", "composite body").loc
+        stmts: list[ast.Stmt] = []
+        while not self._at("}"):
+            stmts.append(self._parse_stmt(composite=True))
+        self._expect("}", "composite body")
+        return ast.Block(stmts=stmts, loc=loc)
+
+    def _parse_splitjoin_body(self, name: str, in_type: Type | None,
+                              out_type: Type | None,
+                              params: list[ast.Param],
+                              loc: SourceLocation) -> ast.SplitJoinDecl:
+        self._expect("{", "splitjoin body")
+        split: ast.SplitDecl | None = None
+        join: ast.JoinDecl | None = None
+        stmts: list[ast.Stmt] = []
+        while not self._at("}"):
+            if self._at("split"):
+                if split is not None:
+                    raise self._error("duplicate split declaration")
+                split = self._parse_split_decl()
+            elif self._at("join"):
+                if join is not None:
+                    raise self._error("duplicate join declaration")
+                join = self._parse_join_decl()
+            else:
+                stmts.append(self._parse_stmt(composite=True))
+        self._expect("}", "splitjoin body")
+        if split is None or join is None:
+            raise ParseError(f"splitjoin {name} needs both split and join",
+                             loc, self.source)
+        return ast.SplitJoinDecl(
+            name=name, in_type=in_type, out_type=out_type, params=params,
+            split=split, join=join, body=ast.Block(stmts=stmts, loc=loc),
+            loc=loc)
+
+    def _parse_split_decl(self) -> ast.SplitDecl:
+        loc = self._expect("split").loc
+        if self._accept("duplicate"):
+            decl = ast.SplitDecl(kind="duplicate", loc=loc)
+        else:
+            self._expect("roundrobin", "split declaration")
+            decl = ast.SplitDecl(kind="roundrobin",
+                                 weights=self._parse_weights(), loc=loc)
+        self._expect(";", "split declaration")
+        return decl
+
+    def _parse_join_decl(self) -> ast.JoinDecl:
+        loc = self._expect("join").loc
+        self._expect("roundrobin", "join declaration")
+        decl = ast.JoinDecl(kind="roundrobin", weights=self._parse_weights(),
+                            loc=loc)
+        self._expect(";", "join declaration")
+        return decl
+
+    def _parse_weights(self) -> list[ast.Expr]:
+        weights: list[ast.Expr] = []
+        if self._accept("("):
+            if not self._at(")"):
+                while True:
+                    weights.append(self._parse_expr())
+                    if not self._accept(","):
+                        break
+            self._expect(")", "round-robin weights")
+        return weights
+
+    def _parse_feedbackloop_body(self, name: str, in_type: Type | None,
+                                 out_type: Type | None,
+                                 params: list[ast.Param],
+                                 loc: SourceLocation) -> ast.FeedbackLoopDecl:
+        self._expect("{", "feedbackloop body")
+        join: ast.JoinDecl | None = None
+        split: ast.SplitDecl | None = None
+        body_add: ast.AddStmt | None = None
+        loop_add: ast.AddStmt | None = None
+        enqueues: list[ast.EnqueueStmt] = []
+        while not self._at("}"):
+            if self._at("join"):
+                join = self._parse_join_decl()
+            elif self._at("split"):
+                split = self._parse_split_decl()
+            elif self._at("body"):
+                self._advance()
+                body_add = self._parse_add_target()
+            elif self._at("loop"):
+                self._advance()
+                loop_add = self._parse_add_target()
+            elif self._at("enqueue"):
+                enq_loc = self._advance().loc
+                has_paren = self._accept("(") is not None
+                value = self._parse_expr()
+                if has_paren:
+                    self._expect(")", "enqueue")
+                self._expect(";", "enqueue")
+                enqueues.append(ast.EnqueueStmt(value=value, loc=enq_loc))
+            else:
+                raise self._error(
+                    f"unexpected token {self._peek().text!r} in feedbackloop")
+        self._expect("}", "feedbackloop body")
+        if join is None or split is None or body_add is None or loop_add is None:
+            raise ParseError(
+                f"feedbackloop {name} needs join, body, loop and split",
+                loc, self.source)
+        return ast.FeedbackLoopDecl(
+            name=name, in_type=in_type, out_type=out_type, params=params,
+            join=join, split=split, body_add=body_add, loop_add=loop_add,
+            enqueues=enqueues, loc=loc)
+
+    def _parse_add_target(self) -> ast.AddStmt:
+        """The stream reference after ``body``/``loop`` or ``add``."""
+        loc = self._peek().loc
+        if self._at(*_STREAM_KINDS) or self._at(*_TYPE_KEYWORDS):
+            anon = self._parse_stream_decl(anonymous=True)
+            self._accept(";")
+            return ast.AddStmt(anonymous=anon, child=anon.name, loc=loc)
+        child = self._expect("ident", "add statement").text
+        args: list[ast.Expr] = []
+        if self._accept("("):
+            if not self._at(")"):
+                while True:
+                    args.append(self._parse_expr())
+                    if not self._accept(","):
+                        break
+            self._expect(")", "add statement")
+        self._expect(";", "add statement")
+        return ast.AddStmt(child=child, args=args, loc=loc)
+
+    # -- statements ---------------------------------------------------------------
+
+    def _parse_block(self, composite: bool = False) -> ast.Block:
+        loc = self._expect("{", "block").loc
+        stmts: list[ast.Stmt] = []
+        while not self._at("}"):
+            stmts.append(self._parse_stmt(composite))
+        self._expect("}", "block")
+        return ast.Block(stmts=stmts, loc=loc)
+
+    def _parse_stmt(self, composite: bool = False) -> ast.Stmt:
+        token = self._peek()
+        if token.kind == "{":
+            return self._parse_block(composite)
+        if token.kind == "if":
+            return self._parse_if(composite)
+        if token.kind == "for":
+            return self._parse_for(composite)
+        if token.kind == "while":
+            return self._parse_while(composite)
+        if token.kind == "do":
+            return self._parse_do_while()
+        if token.kind == "add":
+            if not composite:
+                raise self._error("`add` is only allowed in composite bodies")
+            self._advance()
+            return self._parse_add_target()
+        if token.kind == "push":
+            self._advance()
+            self._expect("(", "push statement")
+            value = self._parse_expr()
+            self._expect(")", "push statement")
+            self._expect(";", "push statement")
+            return ast.PushStmt(value=value, loc=token.loc)
+        if token.kind in ("println", "print"):
+            self._advance()
+            self._expect("(", "print statement")
+            value = self._parse_expr()
+            self._expect(")", "print statement")
+            self._expect(";", "print statement")
+            return ast.PrintStmt(value=value, newline=token.kind == "println",
+                                 loc=token.loc)
+        if token.kind == "return":
+            self._advance()
+            value = None if self._at(";") else self._parse_expr()
+            self._expect(";", "return statement")
+            return ast.ReturnStmt(value=value, loc=token.loc)
+        if token.kind == "break":
+            self._advance()
+            self._expect(";", "break statement")
+            return ast.BreakStmt(loc=token.loc)
+        if token.kind == "continue":
+            self._advance()
+            self._expect(";", "continue statement")
+            return ast.ContinueStmt(loc=token.loc)
+        if token.kind in _TYPE_KEYWORDS:
+            stmt = self._parse_var_decl()
+            self._expect(";", "variable declaration")
+            return stmt
+        if token.kind == ";":
+            self._advance()
+            return ast.Block(loc=token.loc)
+        stmt = self._parse_expr_or_assign()
+        self._expect(";", "statement")
+        return stmt
+
+    def _parse_var_decl(self) -> ast.Stmt:
+        loc = self._peek().loc
+        ty = self._parse_type()
+        type_dims = self._parse_dims()
+        decls: list[ast.Stmt] = []
+        while True:
+            name = self._expect("ident", "variable declaration").text
+            decl_dims = self._parse_dims()
+            init = self._parse_expr() if self._accept("=") else None
+            decls.append(ast.VarDecl(var_type=ty, name=name,
+                                     dims=type_dims + decl_dims, init=init,
+                                     loc=loc))
+            if not self._accept(","):
+                break
+        return decls[0] if len(decls) == 1 else ast.Block(stmts=decls, loc=loc)
+
+    def _parse_if(self, composite: bool) -> ast.IfStmt:
+        loc = self._advance().loc
+        self._expect("(", "if statement")
+        cond = self._parse_expr()
+        self._expect(")", "if statement")
+        then = self._parse_stmt(composite)
+        otherwise = None
+        if self._accept("else"):
+            otherwise = self._parse_stmt(composite)
+        return ast.IfStmt(cond=cond, then=then, otherwise=otherwise, loc=loc)
+
+    def _parse_for(self, composite: bool) -> ast.ForStmt:
+        loc = self._advance().loc
+        self._expect("(", "for statement")
+        init: ast.Stmt | None = None
+        if not self._at(";"):
+            if self._at(*_TYPE_KEYWORDS):
+                init = self._parse_var_decl()
+            else:
+                init = self._parse_expr_or_assign()
+        self._expect(";", "for statement")
+        cond = None if self._at(";") else self._parse_expr()
+        self._expect(";", "for statement")
+        step = None if self._at(")") else self._parse_expr_or_assign()
+        self._expect(")", "for statement")
+        body = self._parse_stmt(composite)
+        return ast.ForStmt(init=init, cond=cond, step=step, body=body,
+                           loc=loc)
+
+    def _parse_while(self, composite: bool = False) -> ast.WhileStmt:
+        loc = self._advance().loc
+        self._expect("(", "while statement")
+        cond = self._parse_expr()
+        self._expect(")", "while statement")
+        body = self._parse_stmt(composite)
+        return ast.WhileStmt(cond=cond, body=body, loc=loc)
+
+    def _parse_do_while(self) -> ast.DoWhileStmt:
+        loc = self._advance().loc
+        body = self._parse_stmt()
+        self._expect("while", "do-while statement")
+        self._expect("(", "do-while statement")
+        cond = self._parse_expr()
+        self._expect(")", "do-while statement")
+        self._expect(";", "do-while statement")
+        return ast.DoWhileStmt(body=body, cond=cond, loc=loc)
+
+    def _parse_expr_or_assign(self) -> ast.Stmt:
+        loc = self._peek().loc
+        if self._at("++", "--"):
+            op = self._advance().kind
+            target = self._parse_unary()
+            delta = ast.IntLit(value=1, loc=loc)
+            return ast.Assign(target=target,
+                              op="+=" if op == "++" else "-=",
+                              value=delta, loc=loc)
+        expr = self._parse_expr()
+        token = self._peek()
+        if token.kind in _ASSIGN_OPS:
+            self._advance()
+            value = self._parse_expr()
+            return ast.Assign(target=expr, op=token.kind, value=value,
+                              loc=loc)
+        if token.kind in ("++", "--"):
+            self._advance()
+            delta = ast.IntLit(value=1, loc=loc)
+            return ast.Assign(target=expr,
+                              op="+=" if token.kind == "++" else "-=",
+                              value=delta, loc=loc)
+        return ast.ExprStmt(expr=expr, loc=loc)
+
+    # -- expressions ----------------------------------------------------------------
+
+    def _parse_expr(self) -> ast.Expr:
+        return self._parse_ternary()
+
+    def _parse_ternary(self) -> ast.Expr:
+        cond = self._parse_binary(0)
+        if self._accept("?"):
+            then = self._parse_expr()
+            self._expect(":", "conditional expression")
+            otherwise = self._parse_ternary()
+            return ast.TernaryOp(cond=cond, then=then, otherwise=otherwise,
+                                 loc=cond.loc)
+        return cond
+
+    def _parse_binary(self, level: int) -> ast.Expr:
+        if level >= len(_PRECEDENCE):
+            return self._parse_unary()
+        left = self._parse_binary(level + 1)
+        while self._peek().kind in _PRECEDENCE[level]:
+            op = self._advance()
+            right = self._parse_binary(level + 1)
+            left = ast.BinaryOp(op=op.kind, left=left, right=right,
+                                loc=op.loc)
+        return left
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind in ("-", "!", "~"):
+            self._advance()
+            operand = self._parse_unary()
+            return ast.UnaryOp(op=token.kind, operand=operand, loc=token.loc)
+        if token.kind == "+":
+            self._advance()
+            return self._parse_unary()
+        if token.kind == "(" and self._peek(1).kind in _TYPE_KEYWORDS \
+                and self._peek(2).kind == ")":
+            self._advance()
+            target = self._parse_type()
+            self._expect(")")
+            operand = self._parse_unary()
+            return ast.Cast(target=target, operand=operand, loc=token.loc)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            if self._at("["):
+                loc = self._advance().loc
+                index = self._parse_expr()
+                self._expect("]", "index expression")
+                expr = ast.Index(base=expr, index=index, loc=loc)
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind == "int_lit":
+            self._advance()
+            value = int(token.text, 0)
+            if value >= 2 ** 31:  # e.g. 0x9e3779b9: wraps like C u32->i32
+                value -= 2 ** 32
+            return ast.IntLit(value=value, loc=token.loc)
+        if token.kind == "float_lit":
+            self._advance()
+            return ast.FloatLit(value=float(token.text), loc=token.loc)
+        if token.kind in ("true", "false"):
+            self._advance()
+            return ast.BoolLit(value=token.kind == "true", loc=token.loc)
+        if token.kind == "pi":
+            self._advance()
+            return ast.FloatLit(value=3.141592653589793, loc=token.loc)
+        if token.kind == "string":
+            self._advance()
+            return ast.StringLit(value=token.text, loc=token.loc)
+        if token.kind == "peek":
+            self._advance()
+            self._expect("(", "peek expression")
+            offset = self._parse_expr()
+            self._expect(")", "peek expression")
+            return ast.PeekExpr(offset=offset, loc=token.loc)
+        if token.kind == "pop":
+            self._advance()
+            self._expect("(", "pop expression")
+            self._expect(")", "pop expression")
+            return ast.PopExpr(loc=token.loc)
+        if token.kind == "ident":
+            self._advance()
+            if self._at("("):
+                return self._parse_call(token)
+            return ast.Ident(name=token.text, loc=token.loc)
+        if token.kind == "(":
+            self._advance()
+            expr = self._parse_expr()
+            self._expect(")", "parenthesized expression")
+            return expr
+        raise self._error(f"expected an expression, found {token.text!r}")
+
+    def _parse_call(self, name_token: Token) -> ast.Call:
+        self._expect("(")
+        args: list[ast.Expr] = []
+        if not self._at(")"):
+            while True:
+                args.append(self._parse_expr())
+                if not self._accept(","):
+                    break
+        self._expect(")", "call expression")
+        return ast.Call(name=name_token.text, args=args, loc=name_token.loc)
+
+
+def parse(source: str, filename: str = "<string>") -> ast.Program:
+    """Parse ``source`` into a :class:`~repro.frontend.ast_nodes.Program`."""
+    return Parser(source, filename).parse_program()

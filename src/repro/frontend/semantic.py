@@ -1,0 +1,646 @@
+"""Semantic analysis: name resolution and type checking.
+
+Runs after parsing and before elaboration.  Array sizes and rate values are
+*expressions* at this point (they may reference stream parameters), so this
+pass checks their types but not their values — value resolution happens in
+:mod:`repro.graph.builder` once parameters are bound.
+
+The pass mutates ``Expr.ty`` slots in place and raises
+:class:`~repro.frontend.errors.SemanticError` on the first problem found.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend.errors import SemanticError, SourceLocation
+from repro.frontend.intrinsics import (INTRINSICS, expects_int_args,
+                                       result_type)
+from repro.frontend.types import (ArrayType, BOOLEAN, FLOAT, INT, ScalarType,
+                                  Type, VOID, unify_numeric)
+
+_ARITH_OPS = ("+", "-", "*", "/")
+_INT_OPS = ("%", "&", "|", "^", "<<", ">>")
+_CMP_OPS = ("<", "<=", ">", ">=")
+_EQ_OPS = ("==", "!=")
+_LOGIC_OPS = ("&&", "||")
+
+
+@dataclass
+class Binding:
+    kind: str  # "param" | "field" | "local" | "helper"
+    ty: Type
+    decl: ast.Node | None = None
+
+
+class Scope:
+    def __init__(self, parent: "Scope | None" = None):
+        self.parent = parent
+        self.bindings: dict[str, Binding] = {}
+
+    def define(self, name: str, binding: Binding,
+               loc: SourceLocation, source: str) -> None:
+        if name in self.bindings:
+            raise SemanticError(f"redefinition of {name!r}", loc, source)
+        self.bindings[name] = binding
+
+    def lookup(self, name: str) -> Binding | None:
+        scope: Scope | None = self
+        while scope is not None:
+            if name in scope.bindings:
+                return scope.bindings[name]
+            scope = scope.parent
+        return None
+
+
+@dataclass
+class _StreamContext:
+    """What the checker needs to know about the enclosing stream."""
+
+    decl: ast.StreamDecl
+    in_type: Type
+    out_type: Type
+    in_work: bool = False  # token ops legal only here
+    helper_return: Type | None = None
+
+
+class Analyzer:
+    def __init__(self, program: ast.Program):
+        self.program = program
+        self.source = program.source
+        self.global_names = {decl.name for decl in program.streams}
+
+    # -- entry ---------------------------------------------------------------
+
+    def analyze(self) -> None:
+        seen: set[str] = set()
+        for decl in self.program.streams:
+            if decl.name in seen:
+                raise self._err(f"duplicate stream name {decl.name!r}",
+                                decl.loc)
+            seen.add(decl.name)
+        for decl in self.program.streams:
+            self._check_stream(decl, Scope())
+        top = self.program.top
+        if top.params:
+            raise self._err(
+                f"top-level stream {top.name!r} must not take parameters",
+                top.loc)
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _err(self, message: str, loc: SourceLocation) -> SemanticError:
+        return SemanticError(message, loc, self.source)
+
+    @staticmethod
+    def _io(decl: ast.StreamDecl) -> tuple[Type, Type]:
+        return (decl.in_type or VOID, decl.out_type or VOID)
+
+    def _define_params(self, decl: ast.StreamDecl, scope: Scope) -> None:
+        for param in decl.params:
+            assert param.ty is not None
+            scope.define(param.name, Binding("param", param.ty, param),
+                         param.loc, self.source)
+
+    # -- streams -----------------------------------------------------------------
+
+    def _check_stream(self, decl: ast.StreamDecl, parent: Scope) -> None:
+        scope = Scope(parent)
+        self._define_params(decl, scope)
+        if isinstance(decl, ast.FilterDecl):
+            self._check_filter(decl, scope)
+        elif isinstance(decl, ast.PipelineDecl):
+            assert decl.body is not None
+            self._check_composite_body(decl, decl.body, scope)
+        elif isinstance(decl, ast.SplitJoinDecl):
+            self._check_splitjoin(decl, scope)
+        elif isinstance(decl, ast.FeedbackLoopDecl):
+            self._check_feedbackloop(decl, scope)
+        else:  # pragma: no cover - parser only builds the four kinds
+            raise self._err(f"unknown stream kind {type(decl).__name__}",
+                            decl.loc)
+
+    def _check_filter(self, decl: ast.FilterDecl, scope: Scope) -> None:
+        in_type, out_type = self._io(decl)
+        ctx = _StreamContext(decl, in_type, out_type)
+
+        for fld in decl.fields:
+            ty = self._declared_type(fld.ty, fld.dims, scope, fld.loc)
+            scope.define(fld.name, Binding("field", ty, fld), fld.loc,
+                         self.source)
+        for helper in decl.helpers:
+            if helper.name in INTRINSICS:
+                raise self._err(
+                    f"helper {helper.name!r} shadows a built-in function",
+                    helper.loc)
+            scope.define(helper.name,
+                         Binding("helper", helper.return_type or VOID,
+                                 helper),
+                         helper.loc, self.source)
+
+        # Field initializers run in the field scope (may reference params
+        # and earlier fields).
+        for fld in decl.fields:
+            if fld.init is not None:
+                init_ty = self._check_expr(fld.init, scope, ctx)
+                target_ty = scope.lookup(fld.name).ty
+                self._require_assignable(target_ty, init_ty, fld.loc)
+
+        if decl.init is not None:
+            self._check_stmt(decl.init, Scope(scope), ctx)
+        for helper in decl.helpers:
+            helper_scope = Scope(scope)
+            for param in helper.params:
+                assert param.ty is not None
+                helper_scope.define(param.name,
+                                    Binding("local", param.ty, param),
+                                    param.loc, self.source)
+            helper_ctx = _StreamContext(decl, in_type, out_type,
+                                        helper_return=helper.return_type
+                                        or VOID)
+            assert helper.body is not None
+            self._check_stmt(helper.body, helper_scope, helper_ctx)
+
+        assert decl.work is not None
+        self._check_work(decl.work, decl, scope, ctx)
+        if decl.prework is not None:
+            self._check_work(decl.prework, decl, scope, ctx)
+
+    def _check_work(self, work: ast.WorkDecl, decl: ast.FilterDecl,
+                    scope: Scope, ctx: _StreamContext) -> None:
+        in_type, out_type = self._io(decl)
+        for rate, which in ((work.push_rate, "push"),
+                            (work.pop_rate, "pop"),
+                            (work.peek_rate, "peek")):
+            if rate is None:
+                continue
+            rate_ty = self._check_expr(rate, scope, ctx)
+            if rate_ty != INT:
+                raise self._err(f"{which} rate must be int, got {rate_ty}",
+                                rate.loc)
+        if out_type == VOID and work.push_rate is not None:
+            raise self._err(
+                f"filter {decl.name!r} has void output but a push rate",
+                work.loc)
+        if in_type == VOID and (work.pop_rate is not None
+                                or work.peek_rate is not None):
+            raise self._err(
+                f"filter {decl.name!r} has void input but pop/peek rates",
+                work.loc)
+        work_ctx = _StreamContext(decl, in_type, out_type, in_work=True)
+        assert work.body is not None
+        self._check_stmt(work.body, Scope(scope), work_ctx)
+
+    def _check_splitjoin(self, decl: ast.SplitJoinDecl, scope: Scope) -> None:
+        assert decl.split is not None and decl.join is not None
+        self._check_weights(decl.split.weights, scope, decl)
+        self._check_weights(decl.join.weights, scope, decl)
+        assert decl.body is not None
+        self._check_composite_body(decl, decl.body, scope)
+
+    def _check_feedbackloop(self, decl: ast.FeedbackLoopDecl,
+                            scope: Scope) -> None:
+        assert decl.join is not None and decl.split is not None
+        self._check_weights(decl.join.weights, scope, decl)
+        self._check_weights(decl.split.weights, scope, decl)
+        ctx = _StreamContext(decl, *self._io(decl))
+        assert decl.body_add is not None and decl.loop_add is not None
+        self._check_add(decl.body_add, scope, ctx)
+        self._check_add(decl.loop_add, scope, ctx)
+        for enq in decl.enqueues:
+            assert enq.value is not None
+            ty = self._check_expr(enq.value, scope, ctx)
+            if not ty.is_numeric():
+                raise self._err("enqueue value must be numeric", enq.loc)
+
+    def _check_weights(self, weights: list[ast.Expr], scope: Scope,
+                       decl: ast.StreamDecl) -> None:
+        ctx = _StreamContext(decl, *self._io(decl))
+        for weight in weights:
+            ty = self._check_expr(weight, scope, ctx)
+            if ty != INT:
+                raise self._err(f"round-robin weight must be int, got {ty}",
+                                weight.loc)
+
+    def _check_composite_body(self, decl: ast.StreamDecl, body: ast.Block,
+                              scope: Scope) -> None:
+        ctx = _StreamContext(decl, *self._io(decl))
+        body_scope = Scope(scope)
+        add_count = self._check_composite_stmts(body.stmts, body_scope, ctx)
+        if add_count == 0:
+            raise self._err(f"composite {decl.name!r} adds no children",
+                            decl.loc)
+
+    def _check_composite_stmts(self, stmts: list[ast.Stmt], scope: Scope,
+                               ctx: _StreamContext) -> int:
+        count = 0
+        for stmt in stmts:
+            count += self._check_composite_stmt(stmt, scope, ctx)
+        return count
+
+    def _check_composite_stmt(self, stmt: ast.Stmt, scope: Scope,
+                              ctx: _StreamContext) -> int:
+        if isinstance(stmt, ast.AddStmt):
+            self._check_add(stmt, scope, ctx)
+            return 1
+        if isinstance(stmt, ast.VarDecl):
+            self._check_var_decl(stmt, scope, ctx)
+            return 0
+        if isinstance(stmt, ast.Assign):
+            self._check_assign(stmt, scope, ctx)
+            return 0
+        if isinstance(stmt, ast.Block):
+            return self._check_composite_stmts(stmt.stmts, Scope(scope), ctx)
+        if isinstance(stmt, ast.ForStmt):
+            for_scope = Scope(scope)
+            adds = 0
+            if stmt.init is not None:
+                adds += self._check_composite_stmt(stmt.init, for_scope, ctx)
+            if stmt.cond is not None:
+                self._require_boolean(
+                    self._check_expr(stmt.cond, for_scope, ctx), stmt.loc)
+            if stmt.step is not None:
+                adds += self._check_composite_stmt(stmt.step, for_scope, ctx)
+            assert stmt.body is not None
+            # `add` inside the loop body may execute many times; count >= 1.
+            adds += self._check_composite_stmt(stmt.body, for_scope, ctx)
+            return adds
+        if isinstance(stmt, ast.IfStmt):
+            assert stmt.cond is not None and stmt.then is not None
+            self._require_boolean(self._check_expr(stmt.cond, scope, ctx),
+                                  stmt.loc)
+            adds = self._check_composite_stmt(stmt.then, Scope(scope), ctx)
+            if stmt.otherwise is not None:
+                adds += self._check_composite_stmt(stmt.otherwise,
+                                                   Scope(scope), ctx)
+            return adds
+        if isinstance(stmt, ast.ExprStmt):
+            assert stmt.expr is not None
+            self._check_expr(stmt.expr, scope, ctx)
+            return 0
+        raise self._err(
+            f"{type(stmt).__name__} not allowed in a composite body",
+            stmt.loc)
+
+    def _check_add(self, stmt: ast.AddStmt, scope: Scope,
+                   ctx: _StreamContext) -> None:
+        if stmt.anonymous is not None:
+            # Anonymous children may capture enclosing parameters/locals.
+            self._check_stream(stmt.anonymous, scope)
+            return
+        child = self._find_stream(stmt.child, stmt.loc)
+        if len(stmt.args) != len(child.params):
+            raise self._err(
+                f"{stmt.child!r} expects {len(child.params)} argument(s), "
+                f"got {len(stmt.args)}", stmt.loc)
+        for arg, param in zip(stmt.args, child.params):
+            arg_ty = self._check_expr(arg, scope, ctx)
+            assert param.ty is not None
+            self._require_assignable(param.ty, arg_ty, arg.loc)
+
+    def _find_stream(self, name: str, loc: SourceLocation) -> ast.StreamDecl:
+        for decl in self.program.streams:
+            if decl.name == name:
+                return decl
+        raise self._err(f"unknown stream {name!r}", loc)
+
+    # -- statements -----------------------------------------------------------------
+
+    def _check_stmt(self, stmt: ast.Stmt, scope: Scope,
+                    ctx: _StreamContext) -> None:
+        if isinstance(stmt, ast.Block):
+            block_scope = Scope(scope)
+            for inner in stmt.stmts:
+                self._check_stmt(inner, block_scope, ctx)
+        elif isinstance(stmt, ast.VarDecl):
+            self._check_var_decl(stmt, scope, ctx)
+        elif isinstance(stmt, ast.Assign):
+            self._check_assign(stmt, scope, ctx)
+        elif isinstance(stmt, ast.ExprStmt):
+            assert stmt.expr is not None
+            self._check_expr(stmt.expr, scope, ctx)
+        elif isinstance(stmt, ast.PushStmt):
+            self._check_push(stmt, scope, ctx)
+        elif isinstance(stmt, ast.PrintStmt):
+            assert stmt.value is not None
+            ty = self._check_expr(stmt.value, scope, ctx)
+            if isinstance(ty, ArrayType):
+                raise self._err("cannot print an array", stmt.loc)
+        elif isinstance(stmt, ast.IfStmt):
+            assert stmt.cond is not None and stmt.then is not None
+            self._require_boolean(self._check_expr(stmt.cond, scope, ctx),
+                                  stmt.loc)
+            self._check_stmt(stmt.then, Scope(scope), ctx)
+            if stmt.otherwise is not None:
+                self._check_stmt(stmt.otherwise, Scope(scope), ctx)
+        elif isinstance(stmt, ast.ForStmt):
+            for_scope = Scope(scope)
+            if stmt.init is not None:
+                self._check_stmt(stmt.init, for_scope, ctx)
+            if stmt.cond is not None:
+                self._require_boolean(
+                    self._check_expr(stmt.cond, for_scope, ctx), stmt.loc)
+            if stmt.step is not None:
+                self._check_stmt(stmt.step, for_scope, ctx)
+            assert stmt.body is not None
+            self._check_stmt(stmt.body, Scope(for_scope), ctx)
+        elif isinstance(stmt, ast.WhileStmt):
+            assert stmt.cond is not None and stmt.body is not None
+            self._require_boolean(self._check_expr(stmt.cond, scope, ctx),
+                                  stmt.loc)
+            self._check_stmt(stmt.body, Scope(scope), ctx)
+        elif isinstance(stmt, ast.DoWhileStmt):
+            assert stmt.cond is not None and stmt.body is not None
+            self._check_stmt(stmt.body, Scope(scope), ctx)
+            self._require_boolean(self._check_expr(stmt.cond, scope, ctx),
+                                  stmt.loc)
+        elif isinstance(stmt, ast.ReturnStmt):
+            if ctx.helper_return is None:
+                raise self._err("return outside of a helper function",
+                                stmt.loc)
+            if stmt.value is None:
+                if ctx.helper_return != VOID:
+                    raise self._err("missing return value", stmt.loc)
+            else:
+                value_ty = self._check_expr(stmt.value, scope, ctx)
+                self._require_assignable(ctx.helper_return, value_ty,
+                                         stmt.loc)
+        elif isinstance(stmt, (ast.BreakStmt, ast.ContinueStmt)):
+            pass  # loop nesting is validated structurally at lowering
+        else:
+            raise self._err(f"unexpected statement {type(stmt).__name__}",
+                            stmt.loc)
+
+    def _check_var_decl(self, stmt: ast.VarDecl, scope: Scope,
+                        ctx: _StreamContext) -> None:
+        assert stmt.var_type is not None
+        ty = self._declared_type(stmt.var_type, stmt.dims, scope, stmt.loc,
+                                 ctx)
+        if stmt.init is not None:
+            init_ty = self._check_expr(stmt.init, scope, ctx)
+            self._require_assignable(ty, init_ty, stmt.loc)
+        scope.define(stmt.name, Binding("local", ty, stmt), stmt.loc,
+                     self.source)
+
+    def _check_assign(self, stmt: ast.Assign, scope: Scope,
+                      ctx: _StreamContext) -> None:
+        assert stmt.target is not None and stmt.value is not None
+        target_ty = self._check_lvalue(stmt.target, scope, ctx)
+        value_ty = self._check_expr(stmt.value, scope, ctx)
+        if stmt.op == "=":
+            self._require_assignable(target_ty, value_ty, stmt.loc)
+            return
+        base_op = stmt.op[:-1]
+        if base_op in _INT_OPS and (target_ty != INT or value_ty != INT):
+            raise self._err(f"operator {stmt.op!r} requires int operands",
+                            stmt.loc)
+        if not (target_ty.is_numeric() and value_ty.is_numeric()):
+            raise self._err(
+                f"operator {stmt.op!r} requires numeric operands", stmt.loc)
+        self._require_assignable(target_ty, value_ty, stmt.loc)
+
+    def _check_lvalue(self, expr: ast.Expr, scope: Scope,
+                      ctx: _StreamContext) -> Type:
+        if isinstance(expr, ast.Ident):
+            binding = scope.lookup(expr.name)
+            if binding is None:
+                raise self._err(f"unknown variable {expr.name!r}", expr.loc)
+            if binding.kind == "param":
+                raise self._err(
+                    f"cannot assign to stream parameter {expr.name!r}",
+                    expr.loc)
+            if binding.kind == "helper":
+                raise self._err(f"cannot assign to helper {expr.name!r}",
+                                expr.loc)
+            expr.ty = binding.ty
+            return binding.ty
+        if isinstance(expr, ast.Index):
+            assert expr.base is not None and expr.index is not None
+            base_ty = self._check_lvalue(expr.base, scope, ctx)
+            if not isinstance(base_ty, ArrayType):
+                raise self._err("indexed value is not an array", expr.loc)
+            index_ty = self._check_expr(expr.index, scope, ctx)
+            if index_ty != INT:
+                raise self._err(f"array index must be int, got {index_ty}",
+                                expr.loc)
+            expr.ty = base_ty.element
+            return base_ty.element
+        raise self._err("invalid assignment target", expr.loc)
+
+    def _check_push(self, stmt: ast.PushStmt, scope: Scope,
+                    ctx: _StreamContext) -> None:
+        if not ctx.in_work:
+            raise self._err("push is only allowed inside work", stmt.loc)
+        if ctx.out_type == VOID:
+            raise self._err("push in a filter with void output", stmt.loc)
+        assert stmt.value is not None
+        value_ty = self._check_expr(stmt.value, scope, ctx)
+        self._require_assignable(ctx.out_type, value_ty, stmt.loc)
+
+    # -- expressions -----------------------------------------------------------------
+
+    def _check_expr(self, expr: ast.Expr, scope: Scope,
+                    ctx: _StreamContext) -> Type:
+        ty = self._expr_type(expr, scope, ctx)
+        expr.ty = ty
+        return ty
+
+    def _expr_type(self, expr: ast.Expr, scope: Scope,
+                   ctx: _StreamContext) -> Type:
+        if isinstance(expr, ast.IntLit):
+            return INT
+        if isinstance(expr, ast.FloatLit):
+            return FLOAT
+        if isinstance(expr, ast.BoolLit):
+            return BOOLEAN
+        if isinstance(expr, ast.StringLit):
+            raise self._err("string literals are only allowed in print",
+                            expr.loc)
+        if isinstance(expr, ast.Ident):
+            binding = scope.lookup(expr.name)
+            if binding is None:
+                raise self._err(f"unknown identifier {expr.name!r}", expr.loc)
+            if binding.kind == "helper":
+                raise self._err(
+                    f"helper {expr.name!r} must be called", expr.loc)
+            return binding.ty
+        if isinstance(expr, ast.UnaryOp):
+            return self._unary_type(expr, scope, ctx)
+        if isinstance(expr, ast.BinaryOp):
+            return self._binary_type(expr, scope, ctx)
+        if isinstance(expr, ast.TernaryOp):
+            assert expr.cond and expr.then and expr.otherwise
+            self._require_boolean(self._check_expr(expr.cond, scope, ctx),
+                                  expr.loc)
+            then_ty = self._check_expr(expr.then, scope, ctx)
+            else_ty = self._check_expr(expr.otherwise, scope, ctx)
+            if then_ty == else_ty:
+                return then_ty
+            unified = unify_numeric(then_ty, else_ty)
+            if unified is None:
+                raise self._err(
+                    f"mismatched branches of ?: ({then_ty} vs {else_ty})",
+                    expr.loc)
+            return unified
+        if isinstance(expr, ast.Cast):
+            assert expr.target is not None and expr.operand is not None
+            operand_ty = self._check_expr(expr.operand, scope, ctx)
+            if not (isinstance(expr.target, ScalarType)
+                    and expr.target.is_numeric()
+                    and operand_ty.is_numeric()):
+                raise self._err(
+                    f"invalid cast from {operand_ty} to {expr.target}",
+                    expr.loc)
+            return expr.target
+        if isinstance(expr, ast.Call):
+            return self._call_type(expr, scope, ctx)
+        if isinstance(expr, ast.Index):
+            assert expr.base is not None and expr.index is not None
+            base_ty = self._check_expr(expr.base, scope, ctx)
+            if not isinstance(base_ty, ArrayType):
+                raise self._err("indexed value is not an array", expr.loc)
+            if self._check_expr(expr.index, scope, ctx) != INT:
+                raise self._err("array index must be int", expr.loc)
+            return base_ty.element
+        if isinstance(expr, ast.PeekExpr):
+            if not ctx.in_work:
+                raise self._err("peek is only allowed inside work", expr.loc)
+            if ctx.in_type == VOID:
+                raise self._err("peek in a filter with void input", expr.loc)
+            assert expr.offset is not None
+            if self._check_expr(expr.offset, scope, ctx) != INT:
+                raise self._err("peek offset must be int", expr.loc)
+            return ctx.in_type
+        if isinstance(expr, ast.PopExpr):
+            if not ctx.in_work:
+                raise self._err("pop is only allowed inside work", expr.loc)
+            if ctx.in_type == VOID:
+                raise self._err("pop in a filter with void input", expr.loc)
+            return ctx.in_type
+        raise self._err(f"unexpected expression {type(expr).__name__}",
+                        expr.loc)
+
+    def _unary_type(self, expr: ast.UnaryOp, scope: Scope,
+                    ctx: _StreamContext) -> Type:
+        assert expr.operand is not None
+        operand_ty = self._check_expr(expr.operand, scope, ctx)
+        if expr.op == "-":
+            if not operand_ty.is_numeric():
+                raise self._err("unary - requires a numeric operand",
+                                expr.loc)
+            return operand_ty
+        if expr.op == "!":
+            self._require_boolean(operand_ty, expr.loc)
+            return BOOLEAN
+        if expr.op == "~":
+            if operand_ty != INT:
+                raise self._err("~ requires an int operand", expr.loc)
+            return INT
+        raise AssertionError(expr.op)
+
+    def _binary_type(self, expr: ast.BinaryOp, scope: Scope,
+                     ctx: _StreamContext) -> Type:
+        assert expr.left is not None and expr.right is not None
+        left = self._check_expr(expr.left, scope, ctx)
+        right = self._check_expr(expr.right, scope, ctx)
+        op = expr.op
+        if op in _ARITH_OPS:
+            unified = unify_numeric(left, right)
+            if unified is None:
+                raise self._err(
+                    f"operator {op!r} requires numeric operands "
+                    f"({left} vs {right})", expr.loc)
+            return unified
+        if op in _INT_OPS:
+            if left != INT or right != INT:
+                raise self._err(f"operator {op!r} requires int operands",
+                                expr.loc)
+            return INT
+        if op in _CMP_OPS:
+            if unify_numeric(left, right) is None:
+                raise self._err(
+                    f"operator {op!r} requires numeric operands", expr.loc)
+            return BOOLEAN
+        if op in _EQ_OPS:
+            if left != right and unify_numeric(left, right) is None:
+                raise self._err(
+                    f"cannot compare {left} with {right}", expr.loc)
+            return BOOLEAN
+        if op in _LOGIC_OPS:
+            self._require_boolean(left, expr.loc)
+            self._require_boolean(right, expr.loc)
+            return BOOLEAN
+        raise AssertionError(op)
+
+    def _call_type(self, expr: ast.Call, scope: Scope,
+                   ctx: _StreamContext) -> Type:
+        binding = scope.lookup(expr.name)
+        if binding is not None and binding.kind == "helper":
+            helper = binding.decl
+            assert isinstance(helper, ast.HelperFunc)
+            if len(expr.args) != len(helper.params):
+                raise self._err(
+                    f"helper {expr.name!r} expects {len(helper.params)} "
+                    f"argument(s), got {len(expr.args)}", expr.loc)
+            for arg, param in zip(expr.args, helper.params):
+                arg_ty = self._check_expr(arg, scope, ctx)
+                assert param.ty is not None
+                self._require_assignable(param.ty, arg_ty, arg.loc)
+            return helper.return_type or VOID
+        intrinsic = INTRINSICS.get(expr.name)
+        if intrinsic is None:
+            raise self._err(f"unknown function {expr.name!r}", expr.loc)
+        if len(expr.args) != intrinsic.arity:
+            raise self._err(
+                f"{expr.name} expects {intrinsic.arity} argument(s), "
+                f"got {len(expr.args)}", expr.loc)
+        arg_types = [self._check_expr(arg, scope, ctx) for arg in expr.args]
+        for arg, arg_ty in zip(expr.args, arg_types):
+            if not arg_ty.is_numeric():
+                raise self._err(
+                    f"{expr.name} requires numeric arguments", arg.loc)
+            if expects_int_args(intrinsic) and arg_ty != INT:
+                raise self._err(f"{expr.name} requires int arguments",
+                                arg.loc)
+        return result_type(intrinsic, arg_types)
+
+    # -- shared checks ----------------------------------------------------------
+
+    def _declared_type(self, base: Type, dims: list[ast.Expr], scope: Scope,
+                       loc: SourceLocation,
+                       ctx: _StreamContext | None = None) -> Type:
+        if base == VOID:
+            raise self._err("variables cannot have type void", loc)
+        check_ctx = ctx or _StreamContext(self.program.top, VOID, VOID)
+        ty: Type = base
+        for dim in reversed(dims):
+            dim_ty = self._check_expr(dim, scope, check_ctx)
+            if dim_ty != INT:
+                raise self._err(f"array size must be int, got {dim_ty}",
+                                dim.loc)
+            ty = ArrayType(element=ty, size=None)
+        return ty
+
+    def _require_boolean(self, ty: Type, loc: SourceLocation) -> None:
+        if ty != BOOLEAN:
+            raise self._err(f"expected boolean, got {ty}", loc)
+
+    def _require_assignable(self, target: Type, value: Type,
+                            loc: SourceLocation) -> None:
+        if target == value:
+            return
+        if target == FLOAT and value == INT:
+            return  # implicit widening
+        if isinstance(target, ArrayType) and isinstance(value, ArrayType):
+            # Sizes are unresolved here; elaboration re-checks them.
+            self._require_assignable(target.element, value.element, loc)
+            return
+        raise self._err(f"cannot assign {value} to {target} "
+                        "(use an explicit cast)", loc)
+
+
+def analyze(program: ast.Program) -> ast.Program:
+    """Type-check ``program`` in place and return it."""
+    Analyzer(program).analyze()
+    return program

@@ -1,0 +1,16 @@
+"""Stream graph construction: elaboration and flattening."""
+
+from repro.graph.builder import elaborate
+from repro.graph.dot import to_dot
+from repro.graph.flatten import flatten, graph_stats
+from repro.graph.nodes import (Channel, FeedbackLoopNode, FilterNode,
+                               FilterVertex, FlatGraph, JoinerVertex,
+                               PipelineNode, Rates, SplitJoinNode,
+                               SplitterVertex, StreamNode, Vertex)
+
+__all__ = [
+    "Channel", "FeedbackLoopNode", "FilterNode", "FilterVertex", "FlatGraph",
+    "JoinerVertex", "PipelineNode", "Rates", "SplitJoinNode",
+    "SplitterVertex", "StreamNode", "Vertex", "elaborate", "flatten",
+    "graph_stats", "to_dot",
+]

@@ -1,0 +1,55 @@
+"""Graphviz DOT export of flat stream graphs.
+
+Purely textual (no graphviz dependency): the output renders with any
+standard ``dot`` binary or online viewer.  Filter vertices are boxes
+annotated with their rates and repetition counts, splitters/joiners are
+small shapes, and feedback edges (those carrying initial tokens) are
+drawn dashed.
+"""
+
+from __future__ import annotations
+
+from repro.graph.nodes import (FilterVertex, FlatGraph, JoinerVertex,
+                               SplitterVertex, Vertex)
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _vertex_line(vertex: Vertex, reps: dict[Vertex, int] | None) -> str:
+    rep = f"\\nx{reps[vertex]}" if reps else ""
+    if isinstance(vertex, FilterVertex):
+        rates = vertex.filter.work
+        label = (f"{vertex.name}\\npush {rates.push} pop {rates.pop} "
+                 f"peek {rates.peek}{rep}")
+        return (f'  v{vertex.uid} [shape=box, label="{_escape(label)}"];')
+    if isinstance(vertex, SplitterVertex):
+        policy = vertex.policy if vertex.policy == "duplicate" \
+            else f"roundrobin{tuple(vertex.weights)}"
+        return (f'  v{vertex.uid} [shape=triangle, '
+                f'label="{_escape(policy + rep)}"];')
+    assert isinstance(vertex, JoinerVertex)
+    label = f"roundrobin{tuple(vertex.weights)}{rep}"
+    return (f'  v{vertex.uid} [shape=invtriangle, '
+            f'label="{_escape(label)}"];')
+
+
+def to_dot(graph: FlatGraph,
+           reps: "dict[Vertex, int] | None" = None) -> str:
+    """Render ``graph`` as a DOT digraph."""
+    lines = [f'digraph "{_escape(graph.name)}" {{',
+             "  rankdir=TB;",
+             '  node [fontname="monospace", fontsize=10];']
+    for vertex in graph.vertices:
+        lines.append(_vertex_line(vertex, reps))
+    for channel in graph.channels:
+        style = ', style=dashed' if channel.initial else ""
+        label = channel.ty.name
+        if channel.initial:
+            label += f" ({len(channel.initial)} init)"
+        lines.append(
+            f'  v{channel.src.uid} -> v{channel.dst.uid} '
+            f'[label="{_escape(label)}"{style}];')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,156 @@
+"""Flattening: hierarchical stream graph → flat vertex/channel graph.
+
+The flat graph makes splitters and joiners explicit vertices.  In the FIFO
+baseline they become run-time copy actors (exactly as the StreamIt compiler
+emits them); the LaminarIR lowering later eliminates them entirely by
+rerouting token names at compile time.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.errors import ElaborationError
+from repro.frontend.types import ScalarType, VOID
+from repro.graph.nodes import (Channel, FeedbackLoopNode, FilterNode,
+                               FilterVertex, FlatGraph, JoinerVertex,
+                               PipelineNode, SplitJoinNode, SplitterVertex,
+                               StreamNode, Vertex)
+
+# (vertex, port) endpoints of a flattened subgraph; None for void ends.
+_End = "tuple[Vertex, int] | None"
+
+
+class Flattener:
+    def __init__(self, root: StreamNode):
+        self.root = root
+        self.graph = FlatGraph(root.name)
+
+    def flatten(self) -> FlatGraph:
+        entry, exit_ = self._flatten(self.root)
+        if entry is not None or exit_ is not None:
+            raise ElaborationError(
+                f"top-level stream {self.root.name!r} must be void->void")
+        self.graph.topological_order()  # raises on malformed cycles
+        return self.graph
+
+    def _flatten(self, node: StreamNode) -> tuple[_End, _End]:
+        if isinstance(node, FilterNode):
+            return self._flatten_filter(node)
+        if isinstance(node, PipelineNode):
+            return self._flatten_pipeline(node)
+        if isinstance(node, SplitJoinNode):
+            return self._flatten_splitjoin(node)
+        if isinstance(node, FeedbackLoopNode):
+            return self._flatten_feedbackloop(node)
+        raise AssertionError(type(node).__name__)
+
+    def _flatten_filter(self, node: FilterNode) -> tuple[_End, _End]:
+        vertex = FilterVertex(uid=self.graph.new_uid(), name=node.name,
+                              filter=node)
+        self.graph.add_vertex(vertex)
+        entry = (vertex, 0) if node.in_type != VOID else None
+        exit_ = (vertex, 0) if node.out_type != VOID else None
+        return entry, exit_
+
+    def _flatten_pipeline(self, node: PipelineNode) -> tuple[_End, _End]:
+        entry: _End = None
+        prev_exit: _End = None
+        for index, child in enumerate(node.children):
+            child_entry, child_exit = self._flatten(child)
+            if index == 0:
+                entry = child_entry
+            else:
+                if prev_exit is None or child_entry is None:
+                    raise ElaborationError(
+                        f"pipeline {node.name!r}: cannot connect "
+                        f"{node.children[index - 1].name} to {child.name}")
+                src, src_port = prev_exit
+                dst, dst_port = child_entry
+                ty = node.children[index - 1].out_type
+                assert isinstance(ty, ScalarType)
+                self.graph.connect(src, src_port, dst, dst_port, ty)
+            prev_exit = child_exit
+        return entry, prev_exit
+
+    def _flatten_splitjoin(self, node: SplitJoinNode) -> tuple[_End, _End]:
+        assert isinstance(node.in_type, ScalarType)
+        assert isinstance(node.out_type, ScalarType)
+        splitter = SplitterVertex(
+            uid=self.graph.new_uid(), name=f"{node.name}.split",
+            policy=node.split_kind, weights=list(node.split_weights))
+        joiner = JoinerVertex(
+            uid=self.graph.new_uid(), name=f"{node.name}.join",
+            weights=list(node.join_weights))
+        self.graph.add_vertex(splitter)
+        self.graph.add_vertex(joiner)
+        if splitter.policy == "duplicate":
+            splitter.weights = [1] * len(node.children)
+        for index, child in enumerate(node.children):
+            child_entry, child_exit = self._flatten(child)
+            if child_entry is None or child_exit is None:
+                raise ElaborationError(
+                    f"splitjoin {node.name!r}: branch {child.name} must "
+                    "consume and produce data")
+            self.graph.connect(splitter, index, child_entry[0],
+                               child_entry[1], node.in_type)
+            self.graph.connect(child_exit[0], child_exit[1], joiner, index,
+                               node.out_type)
+        return (splitter, 0), (joiner, 0)
+
+    def _flatten_feedbackloop(self,
+                              node: FeedbackLoopNode) -> tuple[_End, _End]:
+        assert isinstance(node.in_type, ScalarType)
+        assert isinstance(node.out_type, ScalarType)
+        joiner = JoinerVertex(uid=self.graph.new_uid(),
+                              name=f"{node.name}.join",
+                              weights=list(node.join_weights))
+        splitter = SplitterVertex(
+            uid=self.graph.new_uid(), name=f"{node.name}.split",
+            policy=node.split_kind, weights=list(node.split_weights))
+        if splitter.policy == "duplicate":
+            splitter.weights = [1, 1]
+        self.graph.add_vertex(joiner)
+        self.graph.add_vertex(splitter)
+
+        body_entry, body_exit = self._flatten(node.body)
+        loop_entry, loop_exit = self._flatten(node.loop)
+        if body_entry is None or body_exit is None:
+            raise ElaborationError(
+                f"feedbackloop {node.name!r}: body must consume and produce")
+        if loop_entry is None or loop_exit is None:
+            raise ElaborationError(
+                f"feedbackloop {node.name!r}: loop must consume and produce")
+
+        # joiner -> body -> splitter
+        self.graph.connect(joiner, 0, body_entry[0], body_entry[1],
+                           node.in_type)
+        self.graph.connect(body_exit[0], body_exit[1], splitter, 0,
+                           node.out_type)
+        # splitter[1] -> loop -> joiner[1]; the loop->joiner channel carries
+        # the enqueued initial tokens (and marks the back edge).
+        self.graph.connect(splitter, 1, loop_entry[0], loop_entry[1],
+                           node.out_type)
+        if not node.enqueued:
+            raise ElaborationError(
+                f"feedbackloop {node.name!r} has no enqueued initial "
+                "tokens; the loop would deadlock")
+        self.graph.connect(loop_exit[0], loop_exit[1], joiner, 1,
+                           node.in_type, initial=list(node.enqueued))
+        return (joiner, 0), (splitter, 0)
+
+
+def flatten(root: StreamNode) -> FlatGraph:
+    """Flatten an elaborated stream graph."""
+    return Flattener(root).flatten()
+
+
+def graph_stats(graph: FlatGraph) -> dict[str, int]:
+    """Structural statistics used by the Table-1 benchmark."""
+    return {
+        "filters": len(graph.filters),
+        "splitters": len(graph.splitters),
+        "joiners": len(graph.joiners),
+        "channels": len(graph.channels),
+        "peeking_filters": sum(
+            1 for f in graph.filters
+            if f.filter.work.peek > f.filter.work.pop),
+    }

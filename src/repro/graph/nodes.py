@@ -1,0 +1,266 @@
+"""Stream graph data structures.
+
+Two levels:
+
+* the *hierarchical* graph (:class:`FilterNode`, :class:`PipelineNode`,
+  :class:`SplitJoinNode`, :class:`FeedbackLoopNode`) produced by elaborating
+  the AST with concrete parameter values, and
+* the *flat* graph (:class:`FlatGraph`) of filter/splitter/joiner vertices
+  connected by :class:`Channel` edges — the form the scheduler and both
+  backends consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend.types import ScalarType, Type
+
+# -- hierarchical graph -------------------------------------------------------
+
+
+@dataclass
+class Rates:
+    """Static data rates of one firing."""
+
+    push: int = 0
+    pop: int = 0
+    peek: int = 0
+
+    def __post_init__(self) -> None:
+        if self.peek < self.pop:
+            self.peek = self.pop
+
+
+@dataclass
+class StreamNode:
+    """Base class for elaborated stream instances."""
+
+    name: str  # unique instance path, e.g. "FMRadio.LowPass_2"
+    in_type: Type
+    out_type: Type
+
+
+@dataclass
+class FilterNode(StreamNode):
+    decl: ast.FilterDecl = None  # type: ignore[assignment]
+    env: dict[str, object] = field(default_factory=dict)  # bound parameters
+    work: Rates = field(default_factory=Rates)
+    prework: Rates | None = None
+    field_types: dict[str, Type] = field(default_factory=dict)
+
+
+@dataclass
+class PipelineNode(StreamNode):
+    children: list[StreamNode] = field(default_factory=list)
+
+
+@dataclass
+class SplitJoinNode(StreamNode):
+    split_kind: str = "duplicate"  # "duplicate" | "roundrobin"
+    split_weights: list[int] = field(default_factory=list)
+    join_weights: list[int] = field(default_factory=list)
+    children: list[StreamNode] = field(default_factory=list)
+
+
+@dataclass
+class FeedbackLoopNode(StreamNode):
+    join_weights: list[int] = field(default_factory=list)
+    split_kind: str = "roundrobin"
+    split_weights: list[int] = field(default_factory=list)
+    body: StreamNode = None  # type: ignore[assignment]
+    loop: StreamNode = None  # type: ignore[assignment]
+    enqueued: list[object] = field(default_factory=list)  # initial tokens
+
+
+# -- flat graph ----------------------------------------------------------------
+
+
+@dataclass(eq=False)
+class Vertex:
+    """Base class for flat-graph vertices.
+
+    ``inputs[i]`` / ``outputs[i]`` are :class:`Channel` objects, ordered by
+    port index; ``None`` marks a not-yet-connected port during construction.
+    """
+
+    uid: int
+    name: str
+    inputs: list["Channel | None"] = field(default_factory=list)
+    outputs: list["Channel | None"] = field(default_factory=list)
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__
+
+    def pop_rate(self, port: int) -> int:
+        """Tokens consumed from input ``port`` per firing."""
+        raise NotImplementedError
+
+    def peek_rate(self, port: int) -> int:
+        return self.pop_rate(port)
+
+    def push_rate(self, port: int) -> int:
+        """Tokens produced on output ``port`` per firing."""
+        raise NotImplementedError
+
+    def __hash__(self) -> int:
+        return self.uid
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.kind} {self.name}>"
+
+
+@dataclass(eq=False)
+class FilterVertex(Vertex):
+    filter: FilterNode = None  # type: ignore[assignment]
+
+    def pop_rate(self, port: int) -> int:
+        assert port == 0
+        return self.filter.work.pop
+
+    def peek_rate(self, port: int) -> int:
+        assert port == 0
+        return self.filter.work.peek
+
+    def push_rate(self, port: int) -> int:
+        assert port == 0
+        return self.filter.work.push
+
+    @property
+    def has_prework(self) -> bool:
+        return self.filter.prework is not None
+
+
+@dataclass(eq=False)
+class SplitterVertex(Vertex):
+    policy: str = "duplicate"  # "duplicate" | "roundrobin"
+    weights: list[int] = field(default_factory=list)
+
+    def pop_rate(self, port: int) -> int:
+        assert port == 0
+        if self.policy == "duplicate":
+            return 1
+        return sum(self.weights)
+
+    def push_rate(self, port: int) -> int:
+        if self.policy == "duplicate":
+            return 1
+        return self.weights[port]
+
+
+@dataclass(eq=False)
+class JoinerVertex(Vertex):
+    weights: list[int] = field(default_factory=list)
+
+    def pop_rate(self, port: int) -> int:
+        return self.weights[port]
+
+    def push_rate(self, port: int) -> int:
+        assert port == 0
+        return sum(self.weights)
+
+
+@dataclass(eq=False)
+class Channel:
+    """A directed FIFO edge between two vertex ports."""
+
+    uid: int
+    src: Vertex
+    src_port: int
+    dst: Vertex
+    dst_port: int
+    ty: ScalarType
+    initial: list[object] = field(default_factory=list)  # enqueued tokens
+
+    @property
+    def name(self) -> str:
+        return f"ch{self.uid}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Channel {self.name} {self.src.name}[{self.src_port}] -> "
+                f"{self.dst.name}[{self.dst_port}]>")
+
+    def __hash__(self) -> int:
+        return self.uid
+
+
+class FlatGraph:
+    """The flattened stream graph: vertices plus channels."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.vertices: list[Vertex] = []
+        self.channels: list[Channel] = []
+        self._uid = 0
+
+    def new_uid(self) -> int:
+        self._uid += 1
+        return self._uid
+
+    def add_vertex(self, vertex: Vertex) -> Vertex:
+        self.vertices.append(vertex)
+        return vertex
+
+    def connect(self, src: Vertex, src_port: int, dst: Vertex, dst_port: int,
+                ty: ScalarType,
+                initial: list[object] | None = None) -> Channel:
+        channel = Channel(uid=self.new_uid(), src=src, src_port=src_port,
+                          dst=dst, dst_port=dst_port, ty=ty,
+                          initial=list(initial or []))
+        while len(src.outputs) <= src_port:
+            src.outputs.append(None)
+        while len(dst.inputs) <= dst_port:
+            dst.inputs.append(None)
+        assert src.outputs[src_port] is None, "output port already connected"
+        assert dst.inputs[dst_port] is None, "input port already connected"
+        src.outputs[src_port] = channel
+        dst.inputs[dst_port] = channel
+        self.channels.append(channel)
+        return channel
+
+    @property
+    def filters(self) -> list[FilterVertex]:
+        return [v for v in self.vertices if isinstance(v, FilterVertex)]
+
+    @property
+    def splitters(self) -> list[SplitterVertex]:
+        return [v for v in self.vertices if isinstance(v, SplitterVertex)]
+
+    @property
+    def joiners(self) -> list[JoinerVertex]:
+        return [v for v in self.vertices if isinstance(v, JoinerVertex)]
+
+    def topological_order(self) -> list[Vertex]:
+        """Vertices in topological order, ignoring back edges.
+
+        Back edges are the feedback channels of feedback loops — the edges
+        carrying ``initial`` tokens.  With those removed the graph must be
+        acyclic.
+        """
+        indegree: dict[Vertex, int] = {v: 0 for v in self.vertices}
+        forward: dict[Vertex, list[Vertex]] = {v: [] for v in self.vertices}
+        for channel in self.channels:
+            if channel.initial:
+                continue  # feedback edge
+            indegree[channel.dst] += 1
+            forward[channel.src].append(channel.dst)
+        ready = [v for v in self.vertices if indegree[v] == 0]
+        order: list[Vertex] = []
+        while ready:
+            vertex = ready.pop(0)
+            order.append(vertex)
+            for succ in forward[vertex]:
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    ready.append(succ)
+        if len(order) != len(self.vertices):
+            cyclic = [v.name for v in self.vertices if v not in set(order)]
+            raise ValueError(
+                "stream graph has a cycle without initial tokens: "
+                + ", ".join(cyclic))
+        return order

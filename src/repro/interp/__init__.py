@@ -1,0 +1,7 @@
+"""Instrumented interpreters: the FIFO baseline and LaminarIR execution."""
+
+from repro.interp.counters import Counters, RunResult
+from repro.interp.fifo import FifoInterpreter
+from repro.interp.laminar import LaminarInterpreter
+
+__all__ = ["Counters", "FifoInterpreter", "LaminarInterpreter", "RunResult"]

@@ -1,0 +1,111 @@
+"""Instrumentation counters shared by both interpreters.
+
+The paper's metrics map onto these counters as follows:
+
+* **memory accesses** = ``loads + stores`` — every FIFO buffer access,
+  read/write-pointer access, filter-field access and stack-array access in
+  the baseline; only the remaining state-slot accesses in LaminarIR.
+* **data communication** = ``token_transfers`` — tokens written into a
+  channel (each producer→consumer hop counts once; splitter/joiner hops
+  are the traffic LaminarIR eliminates).
+* the compute-op mix (``alu``/``mul``/``div``/``intrinsic``/…) feeds the
+  platform cycle and energy models in :mod:`repro.machine`.
+
+The counting conventions for the FIFO baseline follow the code the
+StreamIt compiler emits (circular buffer with read/write indices kept in
+memory):
+
+=============  ====================================================
+operation      counted as
+=============  ====================================================
+push           1 store (token) + 1 load + 1 store (write index)
+               + 2 alu (increment, wrap)
+pop            1 load (token) + 1 load + 1 store (read index)
+               + 2 alu
+peek(i)        1 load (token) + 1 load (read index) + 2 alu
+=============  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class Counters:
+    loads: int = 0
+    stores: int = 0
+    alu: int = 0          # int/float add/sub, bit ops, moves, index math
+    mul: int = 0
+    div: int = 0          # div and mod
+    compare: int = 0
+    select: int = 0
+    intrinsic: int = 0    # transcendental / RNG calls
+    branch: int = 0       # control-flow decisions taken (baseline only)
+    token_transfers: int = 0
+    prints: int = 0
+
+    @property
+    def memory_accesses(self) -> int:
+        return self.loads + self.stores
+
+    @property
+    def total_ops(self) -> int:
+        return (self.loads + self.stores + self.alu + self.mul + self.div
+                + self.compare + self.select + self.intrinsic + self.branch)
+
+    def snapshot(self) -> "Counters":
+        return Counters(**{f.name: getattr(self, f.name)
+                           for f in fields(self)})
+
+    def delta_since(self, earlier: "Counters") -> "Counters":
+        return Counters(**{f.name: getattr(self, f.name)
+                           - getattr(earlier, f.name)
+                           for f in fields(self)})
+
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    # -- FIFO access conventions (see module docstring) ---------------------
+
+    def count_fifo_push(self) -> None:
+        self.stores += 2
+        self.loads += 1
+        self.alu += 2
+        self.token_transfers += 1
+
+    def count_fifo_pop(self) -> None:
+        self.loads += 2
+        self.stores += 1
+        self.alu += 2
+
+    def count_fifo_peek(self) -> None:
+        self.loads += 2
+        self.alu += 2
+
+    def count_binary(self, op: str) -> None:
+        if op in ("*",):
+            self.mul += 1
+        elif op in ("/", "%"):
+            self.div += 1
+        elif op in ("==", "!=", "<", "<=", ">", ">="):
+            self.compare += 1
+        else:
+            self.alu += 1
+
+
+@dataclass
+class RunResult:
+    """Outputs and counters of one interpreter run."""
+
+    outputs: list[object] = field(default_factory=list)
+    counters: Counters = field(default_factory=Counters)
+    # Counters restricted to the steady phase (what the paper reports
+    # per-iteration numbers from).
+    steady_counters: Counters = field(default_factory=Counters)
+    iterations: int = 0
+
+    def per_iteration(self, name: str) -> float:
+        if self.iterations == 0:
+            return 0.0
+        return getattr(self.steady_counters, name) / self.iterations

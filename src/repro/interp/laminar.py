@@ -1,0 +1,160 @@
+"""Interpreter for lowered LaminarIR programs.
+
+Executes the three straight-line sections with exact operation counting.
+Tokens and intermediate values live in a register file (a dict keyed by
+temp id) — only ``load``/``store`` ops touch the memory counters, which is
+precisely the paper's point: after lowering, the steady state's memory
+traffic is whatever state could not be promoted to registers.
+
+Outputs must match :class:`repro.interp.fifo.FifoInterpreter` exactly for
+the same program and iteration count (the equivalence experiment E8 and a
+large part of the test suite rely on this).
+"""
+
+from __future__ import annotations
+
+from repro.frontend.errors import InterpError
+from repro.frontend.intrinsics import INTRINSICS, XorShift32
+from repro.interp.counters import Counters, RunResult
+from repro.interp.values import coerce_runtime, default_value, \
+    runtime_binary, runtime_unary
+from repro.lir.ops import (BinOp, CallOp, CastOp, Const, LoadOp, MoveOp, Op,
+                           PrintOp, SelectOp, StoreOp, Temp, UnOp, Value)
+from repro.lir.program import Program
+
+
+class LaminarInterpreter:
+    def __init__(self, program: Program,
+                 rng_seed: int = XorShift32.DEFAULT_SEED):
+        self.program = program
+        self.counters = Counters()
+        self.rng = XorShift32(rng_seed)
+        self.outputs: list[object] = []
+        self.registers: dict[int, object] = {}
+        self.state: dict[str, object] = {}
+        for slot in program.state_slots:
+            if slot.is_array:
+                assert slot.size is not None
+                self.state[slot.name] = [default_value(slot.ty)] * slot.size
+            else:
+                self.state[slot.name] = default_value(slot.ty)
+
+    # -- public API -----------------------------------------------------------
+
+    def run(self, iterations: int) -> RunResult:
+        self._run_ops(self.program.setup)
+        self._run_ops(self.program.init)
+        carries = [self._value(v) for v in self.program.carry_inits]
+        steady_start = self.counters.snapshot()
+        params = self.program.carry_params
+        for _ in range(iterations):
+            for param, value in zip(params, carries):
+                self.registers[param.id] = value
+                self.counters.alu += 1  # loop-carried register move
+            self._run_ops(self.program.steady)
+            carries = [self._value(v) for v in self.program.carry_nexts]
+        steady = self.counters.delta_since(steady_start)
+        return RunResult(outputs=list(self.outputs),
+                         counters=self.counters.snapshot(),
+                         steady_counters=steady, iterations=iterations)
+
+    # -- execution ---------------------------------------------------------------
+
+    def _value(self, value: Value) -> object:
+        if isinstance(value, Const):
+            return value.value
+        assert isinstance(value, Temp)
+        try:
+            return self.registers[value.id]
+        except KeyError:
+            raise InterpError(f"use of undefined value {value}") from None
+
+    def _set(self, temp: Temp | None, value: object) -> None:
+        assert temp is not None
+        self.registers[temp.id] = value
+
+    def _run_ops(self, ops: list[Op]) -> None:
+        for op in ops:
+            self._run_op(op)
+
+    def _run_op(self, op: Op) -> None:
+        if isinstance(op, BinOp):
+            result = runtime_binary(op.op, self._value(op.lhs),
+                                    self._value(op.rhs))
+            self.counters.count_binary(op.op)
+            self._set(op.result, result)
+        elif isinstance(op, UnOp):
+            self.counters.alu += 1
+            self._set(op.result, runtime_unary(op.op,
+                                               self._value(op.operand)))
+        elif isinstance(op, CastOp):
+            assert op.result is not None
+            self.counters.alu += 1
+            self._set(op.result,
+                      coerce_runtime(self._value(op.operand), op.result.ty))
+        elif isinstance(op, SelectOp):
+            self.counters.select += 1
+            chosen = op.then if self._value(op.cond) else op.otherwise
+            self._set(op.result, self._value(chosen))
+        elif isinstance(op, CallOp):
+            self._run_call(op)
+        elif isinstance(op, LoadOp):
+            self._run_load(op)
+        elif isinstance(op, StoreOp):
+            self._run_store(op)
+        elif isinstance(op, MoveOp):
+            # Only present when splitter/joiner elimination is disabled:
+            # models the routing copy the baseline performs.
+            self.counters.alu += 1
+            self.counters.token_transfers += 1
+            self._set(op.result, self._value(op.src))
+        elif isinstance(op, PrintOp):
+            self.counters.prints += 1
+            self.outputs.append(self._value(op.value))
+        else:  # pragma: no cover
+            raise AssertionError(type(op).__name__)
+
+    def _run_call(self, op: CallOp) -> None:
+        self.counters.intrinsic += 1
+        args = [self._value(a) for a in op.args]
+        if op.name == "randf":
+            self._set(op.result, self.rng.randf())
+            return
+        if op.name == "randi":
+            self._set(op.result, self.rng.randi(int(args[0])))  # type: ignore
+            return
+        intrinsic = INTRINSICS[op.name]
+        assert intrinsic.impl is not None
+        if intrinsic.policy == "float":
+            args = [float(a) for a in args]  # type: ignore[arg-type]
+        self._set(op.result, intrinsic.impl(*args))
+
+    def _element(self, op: LoadOp | StoreOp) -> tuple[list, int]:
+        array = self.state[op.slot.name]
+        assert isinstance(array, list)
+        assert op.index is not None
+        index = self._value(op.index)
+        assert isinstance(index, int)
+        self.counters.alu += 1  # address arithmetic
+        if not 0 <= index < len(array):
+            raise InterpError(
+                f"index {index} out of bounds for slot {op.slot.name}"
+                f"[{len(array)}]")
+        return array, index
+
+    def _run_load(self, op: LoadOp) -> None:
+        self.counters.loads += 1
+        if op.index is None:
+            self._set(op.result, self.state[op.slot.name])
+            return
+        array, index = self._element(op)
+        self._set(op.result, array[index])
+
+    def _run_store(self, op: StoreOp) -> None:
+        self.counters.stores += 1
+        value = coerce_runtime(self._value(op.value), op.slot.ty)
+        if op.index is None:
+            self.state[op.slot.name] = value
+            return
+        array, index = self._element(op)
+        array[index] = value

@@ -1,0 +1,105 @@
+"""Concrete run-time value semantics shared by both interpreters.
+
+ints are 32-bit two's complement, floats are doubles, matching the C
+backends (compiled with ``-fwrapv``) so every execution route produces the
+same output stream.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.errors import InterpError
+from repro.frontend.types import BOOLEAN, FLOAT, INT, ScalarType
+from repro.lir.ops import wrap_i32
+
+_INT_OPS = ("%", "&", "|", "^", "<<", ">>")
+_CMP_OPS = ("==", "!=", "<", "<=", ">", ">=")
+
+
+def runtime_binary(op: str, left: object, right: object) -> object:
+    """Apply one binary operator with C-like semantics."""
+    try:
+        if op == "+":
+            result = left + right  # type: ignore[operator]
+        elif op == "-":
+            result = left - right  # type: ignore[operator]
+        elif op == "*":
+            result = left * right  # type: ignore[operator]
+        elif op == "/":
+            if isinstance(left, int) and isinstance(right, int) \
+                    and not isinstance(left, bool) \
+                    and not isinstance(right, bool):
+                quotient = abs(left) // abs(right)
+                result = quotient if (left >= 0) == (right >= 0) \
+                    else -quotient
+            else:
+                result = left / right  # type: ignore[operator]
+        elif op == "%":
+            magnitude = abs(left) % abs(right)  # type: ignore[arg-type]
+            result = magnitude if left >= 0 else -magnitude  # type: ignore
+        elif op == "&":
+            result = left & right  # type: ignore[operator]
+        elif op == "|":
+            result = left | right  # type: ignore[operator]
+        elif op == "^":
+            result = left ^ right  # type: ignore[operator]
+        elif op == "<<":
+            # Shift counts must be in [0, 31] (larger is UB in C; the
+            # compile-time evaluator uses the same plain-shift semantics).
+            result = left << right  # type: ignore[operator]
+        elif op == ">>":
+            result = left >> right  # type: ignore[operator]
+        elif op == "==":
+            return left == right
+        elif op == "!=":
+            return left != right
+        elif op == "<":
+            return left < right  # type: ignore[operator]
+        elif op == "<=":
+            return left <= right  # type: ignore[operator]
+        elif op == ">":
+            return left > right  # type: ignore[operator]
+        elif op == ">=":
+            return left >= right  # type: ignore[operator]
+        else:
+            raise AssertionError(f"unknown operator {op}")
+    except ZeroDivisionError:
+        raise InterpError(f"division by zero in {op!r}") from None
+    if isinstance(result, bool):
+        return result
+    if isinstance(result, int):
+        return wrap_i32(result)
+    return result
+
+
+def runtime_unary(op: str, value: object) -> object:
+    if op == "-":
+        result = -value  # type: ignore[operator]
+        return wrap_i32(result) if isinstance(result, int) \
+            and not isinstance(result, bool) else result
+    if op == "!":
+        return not value
+    if op == "~":
+        return wrap_i32(~value)  # type: ignore[operator]
+    raise AssertionError(f"unknown unary operator {op}")
+
+
+def coerce_runtime(value: object, ty: ScalarType) -> object:
+    if ty == INT:
+        if isinstance(value, bool):
+            return int(value)
+        return wrap_i32(int(value))  # type: ignore[arg-type]
+    if ty == FLOAT:
+        return float(value)  # type: ignore[arg-type]
+    if ty == BOOLEAN:
+        return bool(value)
+    raise AssertionError(f"cannot coerce to {ty}")
+
+
+def default_value(ty: ScalarType) -> object:
+    if ty == INT:
+        return 0
+    if ty == FLOAT:
+        return 0.0
+    if ty == BOOLEAN:
+        return False
+    raise AssertionError(f"no default for {ty}")

@@ -1,0 +1,17 @@
+"""LaminarIR: the paper's token-named IR and the lowering that builds it."""
+
+from repro.lir.lower import Lowerer, LoweringOptions, lower
+from repro.lir.ops import (BinOp, CallOp, CastOp, Const, LoadOp, MoveOp, Op,
+                           PrintOp, SelectOp, StateSlot, StoreOp, Temp, UnOp,
+                           Value, const_bool, const_float, const_int,
+                           wrap_i32)
+from repro.lir.program import Program
+from repro.lir.verify import VerificationError, verify
+
+__all__ = [
+    "BinOp", "CallOp", "CastOp", "Const", "LoadOp", "Lowerer",
+    "LoweringOptions", "MoveOp", "Op", "PrintOp", "Program", "SelectOp",
+    "StateSlot", "StoreOp", "Temp", "UnOp", "Value",
+    "VerificationError", "const_bool", "const_float", "const_int",
+    "lower", "verify", "wrap_i32",
+]

@@ -1,0 +1,307 @@
+"""LaminarIR instruction set.
+
+LaminarIR is a flat, token-named IR: every stream token that exists during
+one steady-state iteration is a named value (:class:`Temp`), so dataflow is
+explicit def-use instead of hidden behind FIFO read/write pointers.  Filter
+state (fields) lives in :class:`StateSlot`\\ s accessed through explicit
+``load``/``store`` ops — those are the only memory operations left in the
+steady state.
+
+Integer semantics are 32-bit two's complement (both interpreters wrap and
+the C backends use ``int32_t``); floats are IEEE doubles everywhere, so
+Python and native runs produce identical output streams.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.frontend.types import BOOLEAN, FLOAT, INT, ScalarType
+
+_temp_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class Value:
+    """An SSA operand: either a :class:`Const` or a :class:`Temp`."""
+
+    ty: ScalarType
+
+
+@dataclass(frozen=True)
+class Const(Value):
+    value: object = 0
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Temp(Value):
+    """A named SSA value (a token or an intermediate result).
+
+    ``id`` is globally unique, so dataclass equality coincides with
+    identity — two distinct temps never compare equal even when they share
+    a type and hint.
+    """
+
+    hint: str = "t"
+    id: int = field(default_factory=lambda: next(_temp_ids))
+
+    def __str__(self) -> str:
+        return f"%{self.hint}{self.id}"
+
+
+def const_int(value: int) -> Const:
+    return Const(INT, wrap_i32(value))
+
+
+def const_float(value: float) -> Const:
+    return Const(FLOAT, float(value))
+
+
+def const_bool(value: bool) -> Const:
+    return Const(BOOLEAN, bool(value))
+
+
+def wrap_i32(value: int) -> int:
+    """Wrap a Python int to 32-bit two's complement."""
+    value &= 0xFFFFFFFF
+    return value - 0x100000000 if value >= 0x80000000 else value
+
+
+@dataclass(frozen=True)
+class StateSlot:
+    """A mutable memory cell: a filter field or scratch storage.
+
+    ``size`` is ``None`` for scalars; arrays are one-dimensional (the
+    lowering linearizes multi-dimensional fields).
+    """
+
+    name: str
+    ty: ScalarType
+    size: int | None = None
+
+    @property
+    def is_array(self) -> bool:
+        return self.size is not None
+
+    def __str__(self) -> str:
+        if self.is_array:
+            return f"@{self.name}[{self.size}]"
+        return f"@{self.name}"
+
+
+# -- operations -----------------------------------------------------------------
+
+
+@dataclass(eq=False)
+class Op:
+    """Base class.  ``result`` is None for pure side-effect ops."""
+
+    result: Temp | None
+
+    def operands(self) -> Iterator[Value]:
+        raise NotImplementedError
+
+    def map_operands(self, fn: Callable[[Value], Value]) -> None:
+        raise NotImplementedError
+
+    @property
+    def has_side_effect(self) -> bool:
+        return False
+
+    @property
+    def is_pure(self) -> bool:
+        """Pure ops may be removed when dead and deduplicated by CSE."""
+        return not self.has_side_effect
+
+
+@dataclass(eq=False)
+class BinOp(Op):
+    """Arithmetic/comparison/bitwise op.
+
+    ``op`` spellings follow the source language (``+ - * / % & | ^ << >>
+    == != < <= > >=``); the operand types (already unified by lowering)
+    select int vs float semantics.
+    """
+
+    op: str = ""
+    lhs: Value = None  # type: ignore[assignment]
+    rhs: Value = None  # type: ignore[assignment]
+
+    def operands(self) -> Iterator[Value]:
+        yield self.lhs
+        yield self.rhs
+
+    def map_operands(self, fn: Callable[[Value], Value]) -> None:
+        self.lhs = fn(self.lhs)
+        self.rhs = fn(self.rhs)
+
+    def __str__(self) -> str:
+        return f"{self.result} = {self.lhs} {self.op} {self.rhs}"
+
+
+@dataclass(eq=False)
+class UnOp(Op):
+    op: str = ""  # "-", "!", "~"
+    operand: Value = None  # type: ignore[assignment]
+
+    def operands(self) -> Iterator[Value]:
+        yield self.operand
+
+    def map_operands(self, fn: Callable[[Value], Value]) -> None:
+        self.operand = fn(self.operand)
+
+    def __str__(self) -> str:
+        return f"{self.result} = {self.op}{self.operand}"
+
+
+@dataclass(eq=False)
+class CastOp(Op):
+    operand: Value = None  # type: ignore[assignment]
+
+    def operands(self) -> Iterator[Value]:
+        yield self.operand
+
+    def map_operands(self, fn: Callable[[Value], Value]) -> None:
+        self.operand = fn(self.operand)
+
+    def __str__(self) -> str:
+        assert self.result is not None
+        return f"{self.result} = cast<{self.result.ty}>({self.operand})"
+
+
+@dataclass(eq=False)
+class SelectOp(Op):
+    """If-converted conditional: ``result = cond ? then : otherwise``."""
+
+    cond: Value = None  # type: ignore[assignment]
+    then: Value = None  # type: ignore[assignment]
+    otherwise: Value = None  # type: ignore[assignment]
+
+    def operands(self) -> Iterator[Value]:
+        yield self.cond
+        yield self.then
+        yield self.otherwise
+
+    def map_operands(self, fn: Callable[[Value], Value]) -> None:
+        self.cond = fn(self.cond)
+        self.then = fn(self.then)
+        self.otherwise = fn(self.otherwise)
+
+    def __str__(self) -> str:
+        return (f"{self.result} = select {self.cond}, {self.then}, "
+                f"{self.otherwise}")
+
+
+@dataclass(eq=False)
+class CallOp(Op):
+    """Intrinsic call; impure intrinsics (the RNG) are ordered effects."""
+
+    name: str = ""
+    args: list[Value] = field(default_factory=list)
+    pure: bool = True
+
+    def operands(self) -> Iterator[Value]:
+        yield from self.args
+
+    def map_operands(self, fn: Callable[[Value], Value]) -> None:
+        self.args = [fn(a) for a in self.args]
+
+    @property
+    def has_side_effect(self) -> bool:
+        return not self.pure
+
+    def __str__(self) -> str:
+        args = ", ".join(str(a) for a in self.args)
+        return f"{self.result} = {self.name}({args})"
+
+
+@dataclass(eq=False)
+class LoadOp(Op):
+    """Read a state slot (``index`` is None for scalar slots)."""
+
+    slot: StateSlot = None  # type: ignore[assignment]
+    index: Value | None = None
+
+    def operands(self) -> Iterator[Value]:
+        if self.index is not None:
+            yield self.index
+
+    def map_operands(self, fn: Callable[[Value], Value]) -> None:
+        if self.index is not None:
+            self.index = fn(self.index)
+
+    def __str__(self) -> str:
+        idx = f"[{self.index}]" if self.index is not None else ""
+        return f"{self.result} = load {self.slot.name}{idx}"
+
+
+@dataclass(eq=False)
+class StoreOp(Op):
+    slot: StateSlot = None  # type: ignore[assignment]
+    index: Value | None = None
+    value: Value = None  # type: ignore[assignment]
+
+    def operands(self) -> Iterator[Value]:
+        if self.index is not None:
+            yield self.index
+        yield self.value
+
+    def map_operands(self, fn: Callable[[Value], Value]) -> None:
+        if self.index is not None:
+            self.index = fn(self.index)
+        self.value = fn(self.value)
+
+    @property
+    def has_side_effect(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        idx = f"[{self.index}]" if self.index is not None else ""
+        return f"store {self.slot.name}{idx}, {self.value}"
+
+
+@dataclass(eq=False)
+class MoveOp(Op):
+    """A register-to-register copy.
+
+    ``routing=True`` marks the copies emitted by the splitter/joiner
+    *non*-elimination mode (the E7 ablation): they model data movement the
+    baseline is obliged to perform, so copy propagation must not remove
+    them.  Plain moves (``routing=False``) are propagated away.
+    """
+
+    src: Value = None  # type: ignore[assignment]
+    routing: bool = False
+
+    def operands(self) -> Iterator[Value]:
+        yield self.src
+
+    def map_operands(self, fn: Callable[[Value], Value]) -> None:
+        self.src = fn(self.src)
+
+    def __str__(self) -> str:
+        return f"{self.result} = move {self.src}"
+
+
+@dataclass(eq=False)
+class PrintOp(Op):
+    value: Value = None  # type: ignore[assignment]
+    newline: bool = True
+
+    def operands(self) -> Iterator[Value]:
+        yield self.value
+
+    def map_operands(self, fn: Callable[[Value], Value]) -> None:
+        self.value = fn(self.value)
+
+    @property
+    def has_side_effect(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"print {self.value}"

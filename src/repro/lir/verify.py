@@ -1,0 +1,123 @@
+"""LaminarIR well-formedness verifier.
+
+Checks the structural invariants every pass must preserve:
+
+* SSA: each temp is defined at most once, and every use is dominated by
+  its definition (sections execute setup → init → steady; carry params
+  are defined at the top of steady; carry inits may use setup/init
+  values; carry nexts may use anything);
+* the three carry lists have equal length and element-wise compatible
+  types;
+* loads/stores reference registered state slots, with indices only on
+  array slots;
+* operand types are consistent for typed ops.
+
+The test suite runs the verifier after lowering and after every
+optimizer configuration; it is also handy when developing new passes.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.types import FLOAT, INT
+from repro.lir.ops import (BinOp, CastOp, Const, LoadOp, Op, SelectOp,
+                           StateSlot, StoreOp, Temp, Value)
+from repro.lir.program import Program
+
+
+class VerificationError(AssertionError):
+    """Raised when a LaminarIR program violates an invariant."""
+
+
+def _fail(message: str) -> None:
+    raise VerificationError(message)
+
+
+class _Verifier:
+    def __init__(self, program: Program):
+        self.program = program
+        self.defined: set[int] = set()
+        self.slots: dict[str, StateSlot] = {}
+
+    def run(self) -> None:
+        for slot in self.program.state_slots:
+            if slot.name in self.slots:
+                _fail(f"duplicate state slot {slot.name!r}")
+            self.slots[slot.name] = slot
+
+        if not (len(self.program.carry_params)
+                == len(self.program.carry_inits)
+                == len(self.program.carry_nexts)):
+            _fail("carry lists have mismatched lengths: "
+                  f"{len(self.program.carry_params)} params, "
+                  f"{len(self.program.carry_inits)} inits, "
+                  f"{len(self.program.carry_nexts)} nexts")
+
+        self._walk(self.program.setup, "setup")
+        self._walk(self.program.init, "init")
+        for param, init in zip(self.program.carry_params,
+                               self.program.carry_inits):
+            self._check_use(init, "carry.init")
+            if param.ty != init.ty and not (
+                    {param.ty, init.ty} == {INT, FLOAT}):
+                _fail(f"carry init type mismatch: {param} <- {init}")
+        for param in self.program.carry_params:
+            self._define(param, "carry parameters")
+        self._walk(self.program.steady, "steady")
+        for param, nxt in zip(self.program.carry_params,
+                              self.program.carry_nexts):
+            self._check_use(nxt, "carry.next")
+
+    # -- helpers ------------------------------------------------------------
+
+    def _define(self, temp: Temp, where: str) -> None:
+        if temp.id in self.defined:
+            _fail(f"{where}: {temp} defined twice")
+        self.defined.add(temp.id)
+
+    def _check_use(self, value: Value, where: str) -> None:
+        if isinstance(value, Temp) and value.id not in self.defined:
+            _fail(f"{where}: use of undefined value {value}")
+
+    def _walk(self, ops: list[Op], section: str) -> None:
+        for position, op in enumerate(ops):
+            where = f"{section}[{position}] ({op})"
+            for operand in op.operands():
+                self._check_use(operand, where)
+            self._check_op(op, where)
+            if op.result is not None:
+                self._define(op.result, where)
+
+    def _check_op(self, op: Op, where: str) -> None:
+        if isinstance(op, (LoadOp, StoreOp)):
+            slot = self.slots.get(op.slot.name)
+            if slot is None:
+                _fail(f"{where}: unknown state slot {op.slot.name!r}")
+            if op.index is not None and not slot.is_array:
+                _fail(f"{where}: indexed access to scalar slot "
+                      f"{slot.name!r}")
+            if op.index is None and slot.is_array:
+                _fail(f"{where}: scalar access to array slot "
+                      f"{slot.name!r}")
+            if op.index is not None and op.index.ty != INT:
+                _fail(f"{where}: non-int index")
+            if isinstance(op.index, Const):
+                assert slot is not None and slot.size is not None
+                if not 0 <= op.index.value < slot.size:  # type: ignore
+                    _fail(f"{where}: constant index {op.index.value} out "
+                          f"of bounds for {slot}")
+        elif isinstance(op, BinOp):
+            if op.op in ("%", "&", "|", "^", "<<", ">>") \
+                    and FLOAT in (op.lhs.ty, op.rhs.ty):
+                _fail(f"{where}: float operand on int-only operator")
+        elif isinstance(op, SelectOp):
+            if op.then.ty != op.otherwise.ty:
+                _fail(f"{where}: select branches disagree on type")
+        elif isinstance(op, CastOp):
+            if op.result is None:
+                _fail(f"{where}: cast without result")
+
+
+def verify(program: Program) -> Program:
+    """Raise :class:`VerificationError` if ``program`` is malformed."""
+    _Verifier(program).run()
+    return program

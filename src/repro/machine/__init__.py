@@ -1,0 +1,13 @@
+"""Platform cost/energy models and analytic metrics."""
+
+from repro.machine.metrics import CommunicationReport, communication_report
+from repro.machine.platforms import (CORTEX_A15, CostModel, I7_2600K,
+                                     OPTERON_6378, PLATFORMS,
+                                     XEON_PHI_3120A, estimate_spills,
+                                     peak_live_values)
+
+__all__ = [
+    "CORTEX_A15", "CommunicationReport", "CostModel", "I7_2600K",
+    "OPTERON_6378", "PLATFORMS", "XEON_PHI_3120A", "communication_report",
+    "estimate_spills", "peak_live_values",
+]

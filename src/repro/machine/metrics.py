@@ -1,0 +1,63 @@
+"""Analytic metrics derived from the schedule: data communication volume.
+
+The paper's Figure on data communication counts the tokens moved between
+actors during one steady-state iteration.  In the FIFO baseline every hop
+through a splitter or joiner is a real copy, so their traffic adds to the
+producer's.  LaminarIR removes those hops: consumers read the producer's
+token names directly, so only the original producer→consumer transfers
+remain.  Both sides are exact functions of the repetition vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.nodes import FilterVertex, FlatGraph, Vertex
+from repro.scheduling.schedule import Schedule
+
+
+@dataclass(frozen=True)
+class CommunicationReport:
+    """Tokens transferred per steady iteration."""
+
+    fifo_tokens: int        # all channel writes (filters + splitters/joiners)
+    laminar_tokens: int     # filter channel writes only
+    fifo_bytes: int
+    laminar_bytes: int
+
+    @property
+    def reduction(self) -> float:
+        """Fraction of baseline communication LaminarIR eliminates."""
+        if self.fifo_tokens == 0:
+            return 0.0
+        return 1.0 - self.laminar_tokens / self.fifo_tokens
+
+
+_TOKEN_BYTES = {"int": 4, "float": 8, "boolean": 4}
+
+
+def _pushes_per_iteration(vertex: Vertex, reps: dict[Vertex, int]) -> list[tuple[int, int]]:
+    """[(tokens, bytes)] per output channel for one steady iteration."""
+    out = []
+    for port, channel in enumerate(vertex.outputs):
+        assert channel is not None
+        tokens = reps[vertex] * vertex.push_rate(port)
+        out.append((tokens, tokens * _TOKEN_BYTES[channel.ty.name]))
+    return out
+
+
+def communication_report(schedule: Schedule) -> CommunicationReport:
+    graph: FlatGraph = schedule.graph
+    fifo_tokens = fifo_bytes = 0
+    laminar_tokens = laminar_bytes = 0
+    for vertex in graph.vertices:
+        for tokens, nbytes in _pushes_per_iteration(vertex, schedule.reps):
+            fifo_tokens += tokens
+            fifo_bytes += nbytes
+            if isinstance(vertex, FilterVertex):
+                laminar_tokens += tokens
+                laminar_bytes += nbytes
+    return CommunicationReport(fifo_tokens=fifo_tokens,
+                               laminar_tokens=laminar_tokens,
+                               fifo_bytes=fifo_bytes,
+                               laminar_bytes=laminar_bytes)

@@ -1,0 +1,173 @@
+"""Platform cost models for the paper's four evaluation machines.
+
+The paper measures on Intel i7-2600K, AMD Opteron 6378, Intel Xeon Phi
+3120A and ARM Cortex-A15.  We do not have that hardware, so — per the
+substitution policy in DESIGN.md — each platform is a cycle/energy cost
+model applied to the interpreters' exact per-iteration operation counts.
+The constants are order-of-magnitude figures from public
+microarchitecture references (Agner Fog's tables, ARM TRMs); they are
+*models*, and EXPERIMENTS.md reports them as such.  What the experiments
+check is the paper's shape: LaminarIR wins on every platform, most on
+wide out-of-order cores and least where memory was already cheap
+relative to compute.
+
+A simple linear-scan register-pressure model converts the unrolled steady
+body's peak liveness into spill traffic, so very large LaminarIR bodies
+do not get an unrealistic "zero memory accesses" score.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.interp.counters import Counters
+from repro.lir.ops import Op, Temp
+from repro.lir.program import Program
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-operation-class cycle and energy costs of one platform."""
+
+    name: str
+    frequency_ghz: float
+    registers: int           # architecturally usable scalar+FP registers
+    # cycles per operation class
+    cyc_alu: float
+    cyc_mul: float
+    cyc_div: float
+    cyc_compare: float
+    cyc_select: float
+    cyc_intrinsic: float
+    cyc_load: float
+    cyc_store: float
+    cyc_branch: float
+    cyc_print: float
+    # energy per operation class (picojoules)
+    pj_alu: float
+    pj_mul: float
+    pj_div: float
+    pj_intrinsic: float
+    pj_load: float
+    pj_store: float
+    pj_branch: float
+    # static power burned per cycle (picojoules / cycle)
+    pj_static_per_cycle: float
+
+    def cycles(self, counters: Counters, spills: int = 0) -> float:
+        """Modeled cycles for one batch of counted operations."""
+        spill_loads = spill_stores = spills
+        return (counters.alu * self.cyc_alu
+                + counters.mul * self.cyc_mul
+                + counters.div * self.cyc_div
+                + counters.compare * self.cyc_compare
+                + counters.select * self.cyc_select
+                + counters.intrinsic * self.cyc_intrinsic
+                + (counters.loads + spill_loads) * self.cyc_load
+                + (counters.stores + spill_stores) * self.cyc_store
+                + counters.branch * self.cyc_branch
+                + counters.prints * self.cyc_print)
+
+    def energy_pj(self, counters: Counters, spills: int = 0) -> float:
+        """Modeled energy (pJ), dynamic + static."""
+        dynamic = (counters.alu * self.pj_alu
+                   + counters.mul * self.pj_mul
+                   + counters.div * self.pj_div
+                   + counters.compare * self.pj_alu
+                   + counters.select * self.pj_alu
+                   + counters.intrinsic * self.pj_intrinsic
+                   + (counters.loads + spills) * self.pj_load
+                   + (counters.stores + spills) * self.pj_store
+                   + counters.branch * self.pj_branch
+                   + counters.prints * self.pj_load)
+        return dynamic + self.cycles(counters, spills) \
+            * self.pj_static_per_cycle
+
+    def seconds(self, counters: Counters, spills: int = 0) -> float:
+        return self.cycles(counters, spills) / (self.frequency_ghz * 1e9)
+
+
+# Desktop out-of-order x86: cheap ALU, moderate L1, big OoO window.
+I7_2600K = CostModel(
+    name="Intel i7-2600K", frequency_ghz=3.4, registers=32,
+    cyc_alu=0.5, cyc_mul=1.0, cyc_div=7.0, cyc_compare=0.5, cyc_select=1.0,
+    cyc_intrinsic=25.0, cyc_load=2.0, cyc_store=2.0, cyc_branch=1.0,
+    cyc_print=20.0,
+    pj_alu=15, pj_mul=40, pj_div=150, pj_intrinsic=500,
+    pj_load=120, pj_store=140, pj_branch=20, pj_static_per_cycle=220)
+
+# Server x86 with slower caches and lower clocks.
+OPTERON_6378 = CostModel(
+    name="AMD Opteron 6378", frequency_ghz=2.4, registers=32,
+    cyc_alu=0.5, cyc_mul=1.2, cyc_div=9.0, cyc_compare=0.5, cyc_select=1.2,
+    cyc_intrinsic=30.0, cyc_load=3.0, cyc_store=3.0, cyc_branch=1.2,
+    cyc_print=20.0,
+    pj_alu=18, pj_mul=50, pj_div=180, pj_intrinsic=600,
+    pj_load=160, pj_store=180, pj_branch=25, pj_static_per_cycle=320)
+
+# In-order wide-vector accelerator core: everything is relatively slow,
+# memory especially.
+XEON_PHI_3120A = CostModel(
+    name="Intel Xeon Phi 3120A", frequency_ghz=1.1, registers=32,
+    cyc_alu=1.0, cyc_mul=2.0, cyc_div=25.0, cyc_compare=1.0, cyc_select=2.0,
+    cyc_intrinsic=60.0, cyc_load=4.0, cyc_store=4.0, cyc_branch=3.0,
+    cyc_print=30.0,
+    pj_alu=10, pj_mul=30, pj_div=120, pj_intrinsic=400,
+    pj_load=90, pj_store=100, pj_branch=15, pj_static_per_cycle=150)
+
+# Mobile out-of-order ARM: modest clocks, small caches, few registers.
+CORTEX_A15 = CostModel(
+    name="ARM Cortex-A15", frequency_ghz=1.7, registers=24,
+    cyc_alu=1.0, cyc_mul=2.0, cyc_div=15.0, cyc_compare=1.0, cyc_select=1.5,
+    cyc_intrinsic=45.0, cyc_load=3.0, cyc_store=3.0, cyc_branch=1.5,
+    cyc_print=25.0,
+    pj_alu=5, pj_mul=15, pj_div=60, pj_intrinsic=200,
+    pj_load=50, pj_store=60, pj_branch=8, pj_static_per_cycle=60)
+
+PLATFORMS: dict[str, CostModel] = {
+    "i7-2600k": I7_2600K,
+    "opteron-6378": OPTERON_6378,
+    "xeon-phi-3120a": XEON_PHI_3120A,
+    "cortex-a15": CORTEX_A15,
+}
+
+
+def peak_live_values(ops: list[Op], live_in: list[Temp],
+                     live_out: list[Temp]) -> int:
+    """Peak number of simultaneously live temps in a straight-line block."""
+    last_use: dict[int, int] = {temp.id: len(ops) for temp in live_out}
+    first_def: dict[int, int] = {temp.id: 0 for temp in live_in}
+    for position, op in enumerate(ops):
+        for operand in op.operands():
+            if isinstance(operand, Temp):
+                last_use[operand.id] = max(last_use.get(operand.id, -1),
+                                           position)
+        if op.result is not None and op.result.id not in first_def:
+            first_def[op.result.id] = position + 1
+    events: list[tuple[int, int]] = []  # (position, +1/-1)
+    for temp_id, defined in first_def.items():
+        used = last_use.get(temp_id)
+        if used is None or used < defined:
+            continue
+        events.append((defined, 1))
+        events.append((used, -1))
+    events.sort(key=lambda e: (e[0], -e[1]))
+    live = peak = 0
+    for _pos, delta in events:
+        live += delta
+        peak = max(peak, live)
+    return peak
+
+
+def estimate_spills(program: Program, model: CostModel) -> int:
+    """Spilled values per steady iteration under ``model``'s register file.
+
+    Linear-scan style estimate: every live value beyond the register count
+    costs one store + one reload per iteration.  Deliberately simple — it
+    exists so large unrolled bodies don't score an impossible zero memory
+    accesses.
+    """
+    peak = peak_live_values(program.steady, program.carry_params,
+                            [v for v in program.carry_nexts
+                             if isinstance(v, Temp)])
+    return max(0, peak - model.registers)

@@ -1,0 +1,104 @@
+"""Constant loop-carry specialization.
+
+A loop-carried token whose initial value is a constant and whose
+next-iteration value is (a) the same constant or (b) the carry itself is
+invariant: every iteration sees the same value.  Replacing the carry
+parameter with the constant exposes the rest of the steady body to
+constant folding — with static input this is what lets whole benchmarks
+collapse to precomputed output streams (experiment E6), mirroring what
+LLVM does to the paper's static-input programs.
+
+Comparison is bit-exact (``-0.0`` is not ``0.0``; ``True`` is not ``1``)
+so the substitution never changes observable output.
+"""
+
+from __future__ import annotations
+
+from repro.lir.ops import Const, Temp, Value
+from repro.lir.program import Program
+
+
+def _same_const(left: Value, right: Value) -> bool:
+    if not (isinstance(left, Const) and isinstance(right, Const)):
+        return False
+    if left.ty != right.ty:
+        return False
+    if type(left.value) is not type(right.value):
+        return False
+    return repr(left.value) == repr(right.value)
+
+
+def specialize_constant_carries(program: Program) -> int:
+    """Replace invariant constant carries with their constants.
+
+    Returns the number of carries removed.  Run inside the optimizer's
+    fixpoint loop: each round of constant folding can expose new
+    invariant carries.
+    """
+    subst: dict[Temp, Value] = {}
+    keep: list[int] = []
+    for index, param in enumerate(program.carry_params):
+        init = program.carry_inits[index]
+        nxt = program.carry_nexts[index]
+        invariant = _same_const(init, nxt) \
+            or (isinstance(init, Const) and nxt is param)
+        if invariant:
+            subst[param] = init
+        else:
+            keep.append(index)
+    if not subst:
+        return 0
+
+    def resolve(value: Value) -> Value:
+        while isinstance(value, Temp) and value in subst:
+            value = subst[value]
+        return value
+
+    for _title, ops in program.sections():
+        for op in ops:
+            op.map_operands(resolve)
+    program.carry_params = [program.carry_params[i] for i in keep]
+    program.carry_inits = [resolve(program.carry_inits[i]) for i in keep]
+    program.carry_nexts = [resolve(program.carry_nexts[i]) for i in keep]
+    return len(subst)
+
+
+def eliminate_dead_carries(program: Program) -> int:
+    """Remove loop carries that never influence an observable effect.
+
+    A carry is *live* if its parameter is used by any op, or if it feeds
+    the next value of another live carry.  Dead carries arise when a
+    consumer pops tokens it never reads (decimators) or when earlier
+    passes fold away every use; removing them shrinks the loop-carried
+    footprint that dominates register pressure.
+    """
+    params = program.carry_params
+    if not params:
+        return 0
+    index_of = {param.id: i for i, param in enumerate(params)}
+
+    used_by_ops: set[int] = set()
+    for _title, ops in program.sections():
+        for op in ops:
+            for operand in op.operands():
+                if isinstance(operand, Temp):
+                    used_by_ops.add(operand.id)
+
+    live = [params[i].id in used_by_ops for i in range(len(params))]
+    changed = True
+    while changed:
+        changed = False
+        for i, nxt in enumerate(program.carry_nexts):
+            if live[i] and isinstance(nxt, Temp) \
+                    and nxt.id in index_of and not live[index_of[nxt.id]]:
+                live[index_of[nxt.id]] = True
+                changed = True
+
+    if all(live):
+        return 0
+    keep = [i for i, is_live in enumerate(live) if is_live]
+    removed = len(params) - len(keep)
+    program.carry_params = [program.carry_params[i] for i in keep]
+    program.carry_inits = [program.carry_inits[i] for i in keep]
+    program.carry_nexts = [program.carry_nexts[i] for i in keep]
+    return removed

@@ -1,0 +1,321 @@
+"""Scalar optimization passes over LaminarIR.
+
+These model the "enabling effect" the paper reports: once FIFO indirection
+is gone, classic scalar optimizations (constant propagation, copy
+propagation, CSE, dead-code elimination) see through the dataflow.  In the
+paper LLVM performs them on the generated C; here we also run them on the
+IR itself so the effect is *measurable* in op counts and drives the
+platform cost models.
+
+All sections are straight-line, so every pass is a single forward or
+backward sweep.  Temps may be referenced across sections (setup → init →
+steady and the carry lists), so substitutions and liveness are computed
+program-wide.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.errors import UNKNOWN_LOCATION
+from repro.graph.builder import apply_binary
+from repro.frontend.intrinsics import INTRINSICS
+from repro.frontend.types import BOOLEAN, FLOAT, INT
+from repro.lir.ops import (BinOp, CallOp, CastOp, Const, LoadOp, MoveOp, Op,
+                           SelectOp, StoreOp, Temp, UnOp, Value, const_bool,
+                           const_float, const_int)
+from repro.lir.program import Program
+
+_CMP_OPS = ("==", "!=", "<", "<=", ">", ">=")
+
+
+def _apply_subst(program: Program, subst: dict[Temp, Value]) -> None:
+    """Rewrite every operand through ``subst`` (chased to a fixpoint)."""
+    if not subst:
+        return
+
+    def resolve(value: Value) -> Value:
+        seen = 0
+        while isinstance(value, Temp) and value in subst:
+            value = subst[value]
+            seen += 1
+            assert seen < 1_000_000, "substitution cycle"
+        return value
+
+    for _title, ops in program.sections():
+        for op in ops:
+            op.map_operands(resolve)
+    program.carry_inits = [resolve(v) for v in program.carry_inits]
+    program.carry_nexts = [resolve(v) for v in program.carry_nexts]
+
+
+def copy_propagation(program: Program) -> int:
+    """Forward ``move`` results (and no-op casts) to their sources."""
+    subst: dict[Temp, Value] = {}
+    removed = 0
+    for _title, ops in program.sections():
+        kept: list[Op] = []
+        for op in ops:
+            if isinstance(op, MoveOp) and op.result is not None \
+                    and not op.routing:
+                subst[op.result] = op.src
+                removed += 1
+                continue
+            if isinstance(op, CastOp) and op.result is not None \
+                    and op.operand.ty == op.result.ty:
+                subst[op.result] = op.operand
+                removed += 1
+                continue
+            kept.append(op)
+        ops[:] = kept
+    _apply_subst(program, subst)
+    return removed
+
+
+def _fold_op(op: Op) -> Value | None:
+    """Return a replacement value if ``op`` folds, else None."""
+    if isinstance(op, BinOp) and isinstance(op.lhs, Const) \
+            and isinstance(op.rhs, Const):
+        value = apply_binary(op.op, op.lhs.value, op.rhs.value,
+                             UNKNOWN_LOCATION, "")
+        if op.op in _CMP_OPS:
+            return const_bool(bool(value))
+        if op.lhs.ty == INT and op.rhs.ty == INT:
+            return const_int(int(value))  # type: ignore[arg-type]
+        if op.lhs.ty == BOOLEAN:
+            return const_bool(bool(value))
+        return const_float(float(value))  # type: ignore[arg-type]
+    if isinstance(op, BinOp):
+        return _fold_algebraic(op)
+    if isinstance(op, UnOp) and isinstance(op.operand, Const):
+        if op.op == "-":
+            if op.operand.ty == INT:
+                return const_int(-op.operand.value)  # type: ignore
+            return const_float(-op.operand.value)  # type: ignore
+        if op.op == "!":
+            return const_bool(not op.operand.value)
+        if op.op == "~":
+            return const_int(~op.operand.value)  # type: ignore[operator]
+    if isinstance(op, CastOp) and isinstance(op.operand, Const):
+        assert op.result is not None
+        if op.result.ty == INT:
+            return const_int(int(op.operand.value))  # type: ignore
+        if op.result.ty == FLOAT:
+            return const_float(float(op.operand.value))  # type: ignore
+        return const_bool(bool(op.operand.value))
+    if isinstance(op, SelectOp) and isinstance(op.cond, Const):
+        return op.then if op.cond.value else op.otherwise
+    if isinstance(op, SelectOp) and op.then is op.otherwise:
+        return op.then
+    if isinstance(op, CallOp) and op.pure \
+            and all(isinstance(a, Const) for a in op.args):
+        intrinsic = INTRINSICS[op.name]
+        assert intrinsic.impl is not None
+        value = intrinsic.impl(*[a.value for a in op.args])  # type: ignore
+        assert op.result is not None
+        if op.result.ty == INT:
+            return const_int(int(value))
+        return const_float(float(value))
+    return None
+
+
+def _fold_algebraic(op: BinOp) -> Value | None:
+    """Exact algebraic identities.
+
+    Float rules are restricted to transformations that are bit-exact for
+    every input (so ``x + 0.0`` is *not* folded: it changes ``-0.0``).
+    """
+    lhs, rhs = op.lhs, op.rhs
+    is_int = lhs.ty == INT and rhs.ty == INT
+    is_bool = lhs.ty == BOOLEAN and rhs.ty == BOOLEAN
+
+    def const_is(value: Value, number: object) -> bool:
+        return isinstance(value, Const) and value.value == number \
+            and type(value.value) is type(number)
+
+    if is_bool and op.op == "&":
+        if const_is(lhs, True):
+            return rhs
+        if const_is(rhs, True):
+            return lhs
+        if const_is(lhs, False) or const_is(rhs, False):
+            return const_bool(False)
+    if is_bool and op.op == "|":
+        if const_is(lhs, False):
+            return rhs
+        if const_is(rhs, False):
+            return lhs
+        if const_is(lhs, True) or const_is(rhs, True):
+            return const_bool(True)
+
+    if op.op == "+" and is_int:
+        if const_is(lhs, 0):
+            return rhs
+        if const_is(rhs, 0):
+            return lhs
+    if op.op == "-" and is_int and const_is(rhs, 0):
+        return lhs
+    if op.op == "*":
+        if is_int and (const_is(lhs, 0) or const_is(rhs, 0)):
+            return const_int(0)
+        if const_is(rhs, 1) or const_is(rhs, 1.0):
+            return lhs
+        if const_is(lhs, 1) or const_is(lhs, 1.0):
+            return rhs
+    if op.op == "/" and (const_is(rhs, 1) or const_is(rhs, 1.0)):
+        return lhs
+    if op.op in ("<<", ">>") and const_is(rhs, 0):
+        return lhs
+    if op.op == "&" and is_int:
+        if const_is(lhs, 0) or const_is(rhs, 0):
+            return const_int(0)
+    if op.op in ("|", "^") and is_int:
+        if const_is(lhs, 0):
+            return rhs
+        if const_is(rhs, 0):
+            return lhs
+    return None
+
+
+def constant_folding(program: Program) -> int:
+    """Fold ops whose operands are constants; apply algebraic identities."""
+    folded = 0
+    subst: dict[Temp, Value] = {}
+
+    def resolve(value: Value) -> Value:
+        while isinstance(value, Temp) and value in subst:
+            value = subst[value]
+        return value
+
+    for _title, ops in program.sections():
+        kept: list[Op] = []
+        for op in ops:
+            op.map_operands(resolve)
+            replacement = _fold_op(op)
+            if replacement is not None and op.result is not None:
+                subst[op.result] = replacement
+                folded += 1
+                continue
+            kept.append(op)
+        ops[:] = kept
+    program.carry_inits = [resolve(v) for v in program.carry_inits]
+    program.carry_nexts = [resolve(v) for v in program.carry_nexts]
+    return folded
+
+
+def _vkey(value: Value) -> tuple:
+    """A hashable identity for CSE: constants by value, temps by id."""
+    if isinstance(value, Const):
+        return ("c", value.ty.name, type(value.value).__name__, value.value)
+    assert isinstance(value, Temp)
+    return ("t", value.id)
+
+
+def _cse_key(op: Op) -> tuple | None:
+    if isinstance(op, BinOp):
+        lhs, rhs = _vkey(op.lhs), _vkey(op.rhs)
+        if op.op in ("+", "*", "&", "|", "^", "==", "!="):
+            lhs, rhs = min(lhs, rhs), max(lhs, rhs)  # commutative
+        return ("bin", op.op, lhs, rhs)
+    if isinstance(op, UnOp):
+        return ("un", op.op, _vkey(op.operand))
+    if isinstance(op, CastOp):
+        assert op.result is not None
+        return ("cast", op.result.ty.name, _vkey(op.operand))
+    if isinstance(op, SelectOp):
+        return ("select", _vkey(op.cond), _vkey(op.then),
+                _vkey(op.otherwise))
+    if isinstance(op, CallOp) and op.pure:
+        return ("call", op.name, tuple(_vkey(a) for a in op.args))
+    return None
+
+
+def common_subexpression_elimination(program: Program) -> int:
+    """Deduplicate pure ops; loads are versioned per state slot."""
+    removed = 0
+    subst: dict[Temp, Value] = {}
+
+    def resolve(value: Value) -> Value:
+        while isinstance(value, Temp) and value in subst:
+            value = subst[value]
+        return value
+
+    for _title, ops in program.sections():
+        available: dict[tuple, Temp] = {}
+        versions: dict[str, int] = {}
+        kept: list[Op] = []
+        for op in ops:
+            op.map_operands(resolve)
+            if isinstance(op, StoreOp):
+                versions[op.slot.name] = versions.get(op.slot.name, 0) + 1
+                kept.append(op)
+                continue
+            if isinstance(op, LoadOp):
+                key = ("load", op.slot.name,
+                       _vkey(op.index) if op.index is not None else None,
+                       versions.get(op.slot.name, 0))
+            else:
+                key = _cse_key(op)
+            if key is None or op.result is None:
+                kept.append(op)
+                continue
+            existing = available.get(key)
+            if existing is not None:
+                subst[op.result] = existing
+                removed += 1
+                continue
+            available[key] = op.result
+            kept.append(op)
+        ops[:] = kept
+    program.carry_inits = [resolve(v) for v in program.carry_inits]
+    program.carry_nexts = [resolve(v) for v in program.carry_nexts]
+    return removed
+
+
+def dead_code_elimination(program: Program) -> int:
+    """Remove pure ops whose results are never used.
+
+    Liveness flows backwards across all three sections plus the carry
+    lists (carry values are live by definition: they feed the next
+    iteration or the steady block parameters).
+    """
+    live: set[int] = set()
+
+    def mark(value: Value) -> None:
+        if isinstance(value, Temp):
+            live.add(value.id)
+
+    for value in program.carry_inits:
+        mark(value)
+    for value in program.carry_nexts:
+        mark(value)
+
+    # Stores to slots that are never loaded anywhere are dead effects.
+    loaded_slots = {
+        op.slot.name
+        for _t, ops in program.sections() for op in ops
+        if isinstance(op, LoadOp)}
+
+    removed = 0
+    sections = [ops for _t, ops in program.sections()]
+    for ops in reversed(sections):
+        kept_rev: list[Op] = []
+        for op in reversed(ops):
+            if isinstance(op, StoreOp) and op.slot.name not in loaded_slots:
+                removed += 1
+                continue
+            needed = op.has_side_effect or (
+                op.result is not None and op.result.id in live)
+            if not needed:
+                removed += 1
+                continue
+            for operand in op.operands():
+                mark(operand)
+            kept_rev.append(op)
+        ops[:] = list(reversed(kept_rev))
+    # Drop state slots that no remaining op touches.
+    used_slots = {
+        op.slot.name
+        for _t, ops in program.sections() for op in ops
+        if isinstance(op, (LoadOp, StoreOp))}
+    program.state_slots = [s for s in program.state_slots
+                           if s.name in used_slots]
+    return removed

@@ -1,0 +1,154 @@
+"""Register-pressure-aware instruction scheduling.
+
+Aggressive unrolling is LaminarIR's cost: a fully flattened steady state
+can keep hundreds of tokens live at once, and anything beyond the
+register file spills (see :func:`repro.machine.platforms.estimate_spills`).
+The lowering emits ops in schedule order — producer firings first, all of
+their tokens live until the consumer fires much later.  This pass
+re-schedules each straight-line section to shorten value lifetimes:
+
+* a dependence graph is built over the section (data edges, plus ordering
+  edges that keep effects — stores, prints, RNG calls — in their original
+  relative order and loads on the correct side of stores to the same
+  slot);
+* a greedy list scheduler repeatedly emits the ready op with the best
+  *pressure delta* — preferring ops that kill the last use of operands
+  over ops that only create new values, breaking ties by original
+  position (so the result is deterministic and close to source order).
+
+The transformation never reorders observable effects, so outputs are
+bit-identical; only liveness (and therefore modeled spill traffic)
+changes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import defaultdict
+
+from repro.lir.ops import (CallOp, LoadOp, Op, PrintOp, StoreOp, Temp)
+from repro.lir.program import Program
+
+
+def _is_effect(op: Op) -> bool:
+    return isinstance(op, (StoreOp, PrintOp)) \
+        or (isinstance(op, CallOp) and not op.pure)
+
+
+def _build_dependences(ops: list[Op]) -> list[set[int]]:
+    """preds[i] = indices that must execute before op i."""
+    preds: list[set[int]] = [set() for _ in ops]
+    last_def: dict[int, int] = {}
+    last_effect: int | None = None
+    last_store_to: dict[str, int] = {}
+    loads_since_store: dict[str, list[int]] = defaultdict(list)
+
+    for index, op in enumerate(ops):
+        for operand in op.operands():
+            if isinstance(operand, Temp) and operand.id in last_def:
+                preds[index].add(last_def[operand.id])
+        if isinstance(op, LoadOp):
+            if op.slot.name in last_store_to:
+                preds[index].add(last_store_to[op.slot.name])
+            loads_since_store[op.slot.name].append(index)
+        if isinstance(op, StoreOp):
+            # stores wait for earlier loads of the same slot (anti-dep)
+            for load_index in loads_since_store[op.slot.name]:
+                preds[index].add(load_index)
+            loads_since_store[op.slot.name] = []
+            if op.slot.name in last_store_to:
+                preds[index].add(last_store_to[op.slot.name])
+            last_store_to[op.slot.name] = index
+        if _is_effect(op):
+            if last_effect is not None:
+                preds[index].add(last_effect)
+            last_effect = index
+        if op.result is not None:
+            last_def[op.result.id] = index
+    return preds
+
+
+def _schedule_section(ops: list[Op], live_out: set[int]) -> list[Op]:
+    """Greedy minimum-pressure list scheduling of one section."""
+    count = len(ops)
+    if count < 3:
+        return ops
+    preds = _build_dependences(ops)
+    succs: list[list[int]] = [[] for _ in ops]
+    indegree = [0] * count
+    for index, pred_set in enumerate(preds):
+        indegree[index] = len(pred_set)
+        for pred in pred_set:
+            succs[pred].append(index)
+
+    # remaining uses per temp id (including live-out as a permanent use)
+    uses_left: dict[int, int] = defaultdict(int)
+    for op in ops:
+        for operand in op.operands():
+            if isinstance(operand, Temp):
+                uses_left[operand.id] += 1
+    for temp_id in live_out:
+        uses_left[temp_id] += 1
+
+    def pressure_delta(index: int) -> int:
+        op = ops[index]
+        delta = 1 if op.result is not None else 0
+        killed = 0
+        seen: set[int] = set()
+        for operand in op.operands():
+            if isinstance(operand, Temp) and operand.id not in seen:
+                seen.add(operand.id)
+                if uses_left[operand.id] == 1:
+                    killed += 1
+        return delta - killed
+
+    ready: list[tuple[int, int]] = []  # (pressure delta, original index)
+    for index in range(count):
+        if indegree[index] == 0:
+            heapq.heappush(ready, (pressure_delta(index), index))
+
+    result: list[Op] = []
+    emitted = [False] * count
+    while ready:
+        # deltas go stale as uses are consumed; lazily revalidate
+        delta, index = heapq.heappop(ready)
+        if emitted[index]:
+            continue
+        current = pressure_delta(index)
+        if current != delta:
+            heapq.heappush(ready, (current, index))
+            continue
+        emitted[index] = True
+        op = ops[index]
+        result.append(op)
+        for operand in op.operands():
+            if isinstance(operand, Temp):
+                uses_left[operand.id] -= 1
+        for succ in succs[index]:
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                heapq.heappush(ready, (pressure_delta(succ), succ))
+
+    assert len(result) == count, "scheduler dropped ops (cyclic deps?)"
+    return result
+
+
+def schedule_for_pressure(program: Program) -> None:
+    """Reorder each section to reduce peak register pressure in place."""
+    live_out_setup: set[int] = set()
+    live_out_init = {v.id for v in program.carry_inits
+                     if isinstance(v, Temp)}
+    live_out_steady = {v.id for v in program.carry_nexts
+                       if isinstance(v, Temp)}
+    # cross-section uses keep setup/init values alive; collect them
+    used_later: set[int] = set(live_out_init) | set(live_out_steady)
+    for ops in (program.init, program.steady):
+        for op in ops:
+            for operand in op.operands():
+                if isinstance(operand, Temp):
+                    used_later.add(operand.id)
+    program.setup[:] = _schedule_section(program.setup,
+                                         live_out_setup | used_later)
+    program.init[:] = _schedule_section(program.init,
+                                        live_out_init | used_later)
+    program.steady[:] = _schedule_section(program.steady, live_out_steady)

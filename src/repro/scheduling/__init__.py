@@ -1,0 +1,8 @@
+"""SDF scheduling: balance equations plus init/steady schedules."""
+
+from repro.scheduling.balance import (repetition_vector,
+                                      steady_state_token_counts)
+from repro.scheduling.schedule import Firing, Schedule, build_schedule
+
+__all__ = ["Firing", "Schedule", "build_schedule", "repetition_vector",
+           "steady_state_token_counts"]

@@ -1,0 +1,92 @@
+"""Balance equations: the steady-state repetition vector of an SDF graph.
+
+For every channel ``src[p] -> dst[q]`` a valid steady state satisfies::
+
+    rep[src] * push(src, p) == rep[dst] * pop(dst, q)
+
+We solve the system exactly with :class:`fractions.Fraction` by propagating
+ratios over the (undirected) channel constraints, then scale to the smallest
+positive integer vector.  Inconsistent rates raise
+:class:`~repro.frontend.errors.RateError`.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import gcd
+
+from repro.frontend.errors import RateError
+from repro.graph.nodes import FlatGraph, Vertex
+
+
+def repetition_vector(graph: FlatGraph) -> dict[Vertex, int]:
+    """Compute the minimal steady-state repetition vector of ``graph``."""
+    if not graph.vertices:
+        raise RateError("cannot schedule an empty graph")
+    ratio: dict[Vertex, Fraction] = {}
+    start = graph.vertices[0]
+    ratio[start] = Fraction(1)
+    worklist = [start]
+    while worklist:
+        vertex = worklist.pop()
+        for channel in list(vertex.outputs) + list(vertex.inputs):
+            if channel is None:
+                continue
+            push = channel.src.push_rate(channel.src_port)
+            pop = channel.dst.pop_rate(channel.dst_port)
+            if push <= 0 or pop <= 0:
+                raise RateError(
+                    f"channel {channel.name} ({channel.src.name} -> "
+                    f"{channel.dst.name}) has a zero rate "
+                    f"(push={push}, pop={pop})")
+            if channel.src in ratio:
+                implied = ratio[channel.src] * push / pop
+                known, other = channel.dst, implied
+            elif channel.dst in ratio:
+                implied = ratio[channel.dst] * pop / push
+                known, other = channel.src, implied
+            else:
+                continue
+            if known in ratio:
+                if ratio[known] != other:
+                    raise RateError(
+                        f"inconsistent rates on channel {channel.name} "
+                        f"({channel.src.name} -> {channel.dst.name}): "
+                        f"{ratio[known]} vs {other}")
+            else:
+                ratio[known] = other
+                worklist.append(known)
+
+    missing = [v.name for v in graph.vertices if v not in ratio]
+    if missing:
+        raise RateError(
+            "stream graph is disconnected; unreachable vertices: "
+            + ", ".join(missing))
+
+    denominator_lcm = 1
+    for value in ratio.values():
+        denominator_lcm = lcm(denominator_lcm, value.denominator)
+    scaled = {v: int(r * denominator_lcm) for v, r in ratio.items()}
+    common = 0
+    for value in scaled.values():
+        common = gcd(common, value)
+    return {v: value // common for v, value in scaled.items()}
+
+
+def lcm(a: int, b: int) -> int:
+    return a * b // gcd(a, b)
+
+
+def steady_state_token_counts(graph: FlatGraph,
+                              reps: dict[Vertex, int]) -> dict[str, int]:
+    """Tokens crossing each channel during one steady-state iteration."""
+    counts: dict[str, int] = {}
+    for channel in graph.channels:
+        produced = reps[channel.src] * channel.src.push_rate(channel.src_port)
+        consumed = reps[channel.dst] * channel.dst.pop_rate(channel.dst_port)
+        if produced != consumed:  # pragma: no cover - guarded by solver
+            raise RateError(
+                f"channel {channel.name} is unbalanced: {produced} produced "
+                f"vs {consumed} consumed")
+        counts[channel.name] = produced
+    return counts

@@ -1,0 +1,234 @@
+"""Initialization and steady-state schedules.
+
+The *init schedule* fires vertices enough times that (a) every ``prework``
+has run and (b) every peeking filter's input channel holds at least
+``peek - pop`` leftover tokens, so that the steady state is truly periodic —
+a precondition for LaminarIR's compile-time unrolling of one iteration.
+
+The *steady schedule* is a concrete firing sequence realizing the repetition
+vector.  Both schedules are produced by demand-driven simulation, which also
+yields exact FIFO buffer bounds for the baseline backend and verifies the
+periodicity invariant (post-iteration channel occupancy equals
+pre-iteration occupancy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.frontend.errors import ScheduleError
+from repro.graph.nodes import (Channel, FilterVertex, FlatGraph, Vertex)
+from repro.scheduling.balance import repetition_vector
+
+_FIXPOINT_LIMIT = 1000
+
+
+@dataclass(frozen=True)
+class Firing:
+    """One execution of a vertex; ``prework`` marks a prework invocation."""
+
+    vertex: Vertex
+    prework: bool = False
+
+
+@dataclass
+class Schedule:
+    """The complete schedule of a flat graph."""
+
+    graph: FlatGraph
+    reps: dict[Vertex, int]
+    init: list[Firing]
+    steady: list[Firing]
+    # Channel occupancy right after the init schedule (= at the start of
+    # every steady iteration).
+    post_init_tokens: dict[str, int]
+    # Peak occupancy per channel over init + steady execution; the FIFO
+    # backend sizes its circular buffers from this.
+    buffer_bounds: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def steady_length(self) -> int:
+        return len(self.steady)
+
+
+def _rates(vertex: Vertex, prework: bool) -> tuple[list[int], list[int], int]:
+    """(pop per input port, push per output port, peek extra) of one firing."""
+    if isinstance(vertex, FilterVertex) and prework:
+        rates = vertex.filter.prework
+        assert rates is not None
+        pops = [rates.pop] if vertex.inputs else []
+        pushes = [rates.push] if vertex.outputs else []
+        peek = rates.peek
+        return pops, pushes, peek
+    if isinstance(vertex, FilterVertex):
+        rates = vertex.filter.work
+        pops = [rates.pop] if vertex.inputs else []
+        pushes = [rates.push] if vertex.outputs else []
+        return pops, pushes, rates.peek
+    pops = [vertex.pop_rate(i) for i in range(len(vertex.inputs))]
+    pushes = [vertex.push_rate(i) for i in range(len(vertex.outputs))]
+    return pops, pushes, max(pops) if pops else 0
+
+
+class _Simulator:
+    """Tracks channel occupancy while a schedule is being constructed."""
+
+    def __init__(self, graph: FlatGraph):
+        self.graph = graph
+        self.tokens: dict[str, int] = {
+            ch.name: len(ch.initial) for ch in graph.channels}
+        self.peak: dict[str, int] = dict(self.tokens)
+        self.fired: dict[Vertex, int] = {v: 0 for v in graph.vertices}
+
+    def can_fire(self, vertex: Vertex, prework: bool) -> bool:
+        pops, _pushes, peek = _rates(vertex, prework)
+        for port, channel in enumerate(vertex.inputs):
+            assert channel is not None
+            need = peek if isinstance(vertex, FilterVertex) else pops[port]
+            if self.tokens[channel.name] < need:
+                return False
+        return True
+
+    def fire(self, vertex: Vertex, prework: bool) -> None:
+        pops, pushes, _peek = _rates(vertex, prework)
+        for port, channel in enumerate(vertex.inputs):
+            assert channel is not None
+            self.tokens[channel.name] -= pops[port]
+            if self.tokens[channel.name] < 0:  # pragma: no cover
+                raise ScheduleError(
+                    f"negative occupancy on {channel.name} firing "
+                    f"{vertex.name}")
+        for port, channel in enumerate(vertex.outputs):
+            assert channel is not None
+            self.tokens[channel.name] += pushes[port]
+            if self.tokens[channel.name] > self.peak[channel.name]:
+                self.peak[channel.name] = self.tokens[channel.name]
+        self.fired[vertex] += 1
+
+    def next_is_prework(self, vertex: Vertex) -> bool:
+        return (isinstance(vertex, FilterVertex) and vertex.has_prework
+                and self.fired[vertex] == 0)
+
+
+def _init_counts(graph: FlatGraph, order: list[Vertex]) -> dict[Vertex, int]:
+    """How many times each vertex fires during initialization.
+
+    Demand-driven fixpoint over reverse topological order.  ``extra(v)``
+    is the peek surplus a vertex needs on its inputs before every steady
+    firing; prework vertices must fire at least once during init so the
+    steady state is uniform.
+    """
+    counts: dict[Vertex, int] = {}
+    for vertex in graph.vertices:
+        needs_prework = (isinstance(vertex, FilterVertex)
+                         and vertex.has_prework)
+        counts[vertex] = 1 if needs_prework else 0
+
+    def consumed_by(vertex: Vertex, firings: int, channel: Channel) -> int:
+        """Tokens consumed from ``channel`` by the first ``firings`` firings
+        of ``vertex`` plus the peek surplus for the following steady firing."""
+        port = channel.dst_port
+        total = 0
+        remaining = firings
+        if isinstance(vertex, FilterVertex):
+            if vertex.has_prework and remaining > 0:
+                assert vertex.filter.prework is not None
+                total += vertex.filter.prework.pop
+                remaining -= 1
+            total += remaining * vertex.filter.work.pop
+            total += max(0,
+                         vertex.filter.work.peek - vertex.filter.work.pop)
+        else:
+            total += remaining * vertex.pop_rate(port)
+        return total
+
+    def produced_by(vertex: Vertex, firings: int, channel: Channel) -> int:
+        port = channel.src_port
+        total = 0
+        remaining = firings
+        if isinstance(vertex, FilterVertex):
+            if vertex.has_prework and remaining > 0:
+                assert vertex.filter.prework is not None
+                total += vertex.filter.prework.push
+                remaining -= 1
+            total += remaining * vertex.filter.work.push
+        else:
+            total += remaining * vertex.push_rate(port)
+        return total
+
+    def firings_to_produce(vertex: Vertex, needed: int,
+                           channel: Channel) -> int:
+        firings = 0
+        while produced_by(vertex, firings, channel) < needed:
+            firings += 1
+            if firings > 1_000_000:  # pragma: no cover
+                raise ScheduleError(
+                    f"init demand on {vertex.name} diverges")
+        return firings
+
+    for _ in range(_FIXPOINT_LIMIT):
+        changed = False
+        for vertex in reversed(order):
+            for channel in vertex.inputs:
+                assert channel is not None
+                need = consumed_by(vertex, counts[vertex], channel)
+                need -= len(channel.initial)
+                if need <= 0:
+                    continue
+                src = channel.src
+                required = firings_to_produce(src, need, channel)
+                if required > counts[src]:
+                    counts[src] = required
+                    changed = True
+        if not changed:
+            return counts
+    raise ScheduleError("initialization demands did not converge "
+                        f"after {_FIXPOINT_LIMIT} passes (deadlock?)")
+
+
+def _sequence(sim: _Simulator, order: list[Vertex],
+              remaining: dict[Vertex, int], what: str) -> list[Firing]:
+    """Emit a firing sequence realizing ``remaining`` firings per vertex."""
+    firings: list[Firing] = []
+    total = sum(remaining.values())
+    while total > 0:
+        progressed = False
+        for vertex in order:
+            while remaining[vertex] > 0:
+                prework = sim.next_is_prework(vertex)
+                if not sim.can_fire(vertex, prework):
+                    break
+                sim.fire(vertex, prework)
+                firings.append(Firing(vertex, prework))
+                remaining[vertex] -= 1
+                total -= 1
+                progressed = True
+        if not progressed:
+            stuck = [v.name for v, n in remaining.items() if n > 0]
+            raise ScheduleError(
+                f"{what} schedule deadlocked; blocked vertices: "
+                + ", ".join(stuck))
+    return firings
+
+
+def build_schedule(graph: FlatGraph) -> Schedule:
+    """Compute the init and steady schedules of ``graph``."""
+    reps = repetition_vector(graph)
+    order = graph.topological_order()
+    sim = _Simulator(graph)
+
+    init_counts = _init_counts(graph, order)
+    init = _sequence(sim, order, dict(init_counts), "init")
+    post_init = dict(sim.tokens)
+
+    steady = _sequence(sim, order, dict(reps), "steady")
+    if sim.tokens != post_init:
+        raise ScheduleError(
+            "steady iteration did not restore channel occupancy: "
+            f"{post_init} -> {sim.tokens}")
+
+    # One more iteration to capture peak occupancy in the periodic regime.
+    _sequence(sim, order, dict(reps), "steady")
+
+    return Schedule(graph=graph, reps=reps, init=init, steady=steady,
+                    post_init_tokens=post_init, buffer_bounds=dict(sim.peak))

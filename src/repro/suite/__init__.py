@@ -1,0 +1,8 @@
+"""The 12-program StreamIt benchmark suite used by the paper."""
+
+from repro.suite.registry import (BENCHMARKS, BenchmarkInfo,
+                                  benchmark_names, benchmark_source,
+                                  load_benchmark)
+
+__all__ = ["BENCHMARKS", "BenchmarkInfo", "benchmark_names",
+           "benchmark_source", "load_benchmark"]

@@ -1,0 +1,96 @@
+"""Tests for the public facade (repro.api) and the evaluation records."""
+
+import pytest
+
+from repro import (CompileError, LoweringOptions, OptOptions,
+                   check_equivalence, compile_file, compile_source)
+from repro.evaluation import (evaluate_stream, format_table,
+                              geometric_mean)
+from repro.machine import I7_2600K, PLATFORMS
+
+
+class TestCompiledStream:
+    def test_name(self, demo_stream):
+        assert demo_stream.name == "Demo"
+
+    def test_stats_keys(self, demo_stream):
+        stats = demo_stream.stats()
+        for key in ("filters", "splitters", "joiners", "channels",
+                    "peeking_filters", "steady_firings", "init_firings"):
+            assert key in stats
+
+    def test_lower_is_cached(self, demo_stream):
+        first = demo_stream.lower()
+        second = demo_stream.lower()
+        assert first is second
+
+    def test_lower_cache_respects_options(self, demo_stream):
+        default = demo_stream.lower()
+        ablated = demo_stream.lower(
+            LoweringOptions(eliminate_splitjoin=False))
+        assert default is not ablated
+
+    def test_compile_file(self, tmp_path):
+        path = tmp_path / "p.str"
+        path.write_text(
+            "void->int filter S() { work push 1 { push(7); } }"
+            "int->void filter P() { work pop 1 { println(pop()); } }"
+            "void->void pipeline Top { add S(); add P(); }")
+        stream = compile_file(path)
+        assert stream.run_fifo(2).outputs == [7, 7]
+
+    def test_compile_error_is_catchable(self):
+        with pytest.raises(CompileError):
+            compile_source("void->void pipeline P { }")
+
+    def test_equivalence_report(self, demo_stream):
+        report = check_equivalence(demo_stream, iterations=3)
+        assert report.matches
+        assert report.output_count == len(report.fifo.outputs)
+        assert report.checksum != 0
+
+
+class TestEvaluation:
+    @pytest.fixture(scope="class")
+    def record(self, demo_stream):
+        return evaluate_stream("demo", demo_stream, iterations=4)
+
+    def test_outputs_match(self, record):
+        assert record.outputs_match
+
+    def test_memory_reduction_in_range(self, record):
+        assert 0.0 <= record.memory_reduction <= 1.0
+
+    def test_speedups_above_one(self, record):
+        for model in PLATFORMS.values():
+            assert record.speedup(model) > 1.0
+
+    def test_energy_saving_in_range(self, record):
+        for model in PLATFORMS.values():
+            assert 0.0 < record.energy_saving(model) < 1.0
+
+    def test_modeled_memory_includes_spills(self, record):
+        raw = record.laminar_counters.memory_accesses
+        modeled = record.memory_accesses_modeled(I7_2600K, laminar=True)
+        assert modeled >= raw
+
+    def test_comm_reduction_positive_for_splitjoin(self, record):
+        assert record.comm.reduction > 0.0
+
+    def test_spills_per_platform(self, record):
+        assert set(record.spills) == {m.name for m in PLATFORMS.values()}
+
+
+class TestHelpers:
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geometric_mean([]) == 0.0
+        assert geometric_mean([5.0]) == pytest.approx(5.0)
+
+    def test_format_table_alignment(self):
+        text = format_table(["name", "x"], [["a", "1"], ["bb", "22"]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("name")
+        assert len(lines) == 5  # title, header, rule, two rows

@@ -1,0 +1,181 @@
+"""Unit tests for the C code generators (text-level, no compiler needed)."""
+
+import pytest
+
+from repro import LoweringOptions, compile_source
+from repro.backend.fifo_c import FifoCodegenOptions
+
+PREAMBLE = """
+void->float filter Src() { work push 1 { push(randf()); } }
+float->void filter Snk() { work pop 1 { println(pop()); } }
+"""
+
+
+def fifo_code(body, options=None):
+    return compile_source(PREAMBLE + body).fifo_c(options)
+
+
+def laminar_code(body, lowering=None):
+    return compile_source(PREAMBLE + body).laminar_c(lowering)
+
+
+PIPE = "void->void pipeline P { add Src(); add F(); add Snk(); }"
+
+
+class TestFifoCodegen:
+    def test_parameter_specialization(self):
+        code = fifo_code(
+            "float->float filter F(float k) { work push 1 pop 1 "
+            "{ push(pop() * k); } }"
+            "void->void pipeline P { add Src(); add F(2.5); add F(7.0); "
+            "add Snk(); }")
+        assert "* 2.5" in code
+        assert "* 7.0" in code
+        assert "VF_work" in code and "VF_1_work" in code
+
+    def test_field_becomes_prefixed_static(self):
+        code = fifo_code(
+            "float->float filter F() { float acc; work push 1 pop 1 "
+            "{ acc = acc + pop(); push(acc); } }" + PIPE)
+        assert "static f64 VF_acc" in code
+
+    def test_array_field_dims(self):
+        code = fifo_code(
+            "float->float filter F() { float[3][4] m; work push 1 pop 1 "
+            "{ push(pop() + m[1][2]); } }" + PIPE)
+        assert "VF_m[3][4]" in code
+
+    def test_local_shadowing_field(self):
+        code = fifo_code(
+            "float->float filter F() { float x; work push 1 pop 1 "
+            "{ float x = pop(); push(x); } }" + PIPE)
+        assert "l_x" in code
+
+    def test_helper_emitted_per_instance(self):
+        code = fifo_code(
+            "float->float filter F() { "
+            "float g(float v) { return v * 2; } "
+            "work push 1 pop 1 { push(g(pop())); } }" + PIPE)
+        assert "VF_g(" in code
+
+    def test_schedule_runs_compressed(self):
+        code = fifo_code(
+            "float->float filter F() { work push 1 pop 4 "
+            "{ push(pop()); pop(); pop(); pop(); } }" + PIPE)
+        # Src fires 4x per steady iteration -> compressed into a loop
+        assert "for (int i = 0; i < 4; i++)" in code
+
+    def test_modulo_vs_mask(self):
+        modulo = fifo_code(
+            "float->float filter F() { work push 1 pop 1 peek 3 "
+            "{ push(peek(2)); pop(); } }" + PIPE)
+        mask = compile_source(
+            PREAMBLE + "float->float filter F() { work push 1 pop 1 "
+            "peek 3 { push(peek(2)); pop(); } }" + PIPE).fifo_c(
+                FifoCodegenOptions(wraparound="mask"))
+        assert "% " in modulo
+        assert "& " in mask
+
+    def test_prework_function(self):
+        code = fifo_code(
+            "float->float filter F() { prework push 1 { push(0); } "
+            "work push 1 pop 1 { push(pop()); } }" + PIPE)
+        assert "VF_prework" in code
+
+    def test_enqueue_in_setup(self):
+        code = fifo_code(
+            "float->float filter Mix() { work push 2 pop 2 { "
+            "float a = pop(); float b = pop(); push(a + b); "
+            "push(a - b); } }"
+            "float->float filter Id() { work push 1 pop 1 "
+            "{ push(pop()); } }"
+            "void->void pipeline P { add Src(); add feedbackloop { "
+            "join roundrobin(1, 1); body Mix(); loop Id(); "
+            "split roundrobin(1, 1); enqueue 0.125; }; add Snk(); }")
+        assert "_push(0.125);" in code
+
+    def test_intrinsic_spellings(self):
+        code = fifo_code(
+            "float->float filter F() { work push 1 pop 1 { float v = "
+            "pop(); push(sin(v) + repro_placeholder(v)); } }"
+            .replace(" + repro_placeholder(v)", " + abs(v) + min(v, 1.0) "
+                     "+ round(v)") + PIPE)
+        assert "sin((f64)" in code
+        assert "fabs(" in code
+        assert "repro_min_f64(" in code
+        assert "repro_round(" in code
+
+    def test_int_abs_uses_int_helper(self):
+        code = compile_source(
+            "void->int filter S() { work push 1 { push(randi(9)); } }"
+            "int->int filter F() { work push 1 pop 1 "
+            "{ push(abs(pop() - 5)); } }"
+            "int->void filter P() { work pop 1 { println(pop()); } }"
+            "void->void pipeline Top { add S(); add F(); add P(); }"
+        ).fifo_c()
+        assert "repro_abs_i32(" in code
+
+
+class TestLaminarCodegen:
+    def test_state_slots_are_statics(self):
+        code = laminar_code(
+            "float->float filter F() { float[4] h; int idx; "
+            "work push 1 pop 1 { h[idx & 3] = pop(); idx = idx + 1; "
+            "push(h[idx & 3]); } }" + PIPE)
+        assert "static f64 F_h[4];" in code
+        # idx is scalar state but dynamic-indexed array blocks only h
+        assert "repro_steady" in code
+
+    def test_carry_variables_are_statics(self):
+        code = laminar_code(
+            "float->float filter F() { work push 1 pop 1 peek 3 "
+            "{ push(peek(0) + peek(2)); pop(); } }" + PIPE)
+        assert "/* rotate loop-carried tokens */" in code
+        assert code.count("static f64 t") >= 2
+
+    def test_two_phase_rotation(self):
+        code = laminar_code(
+            "float->float filter F() { work push 1 pop 1 peek 2 "
+            "{ push(peek(1) - peek(0)); pop(); } }" + PIPE)
+        # next-values computed into n0.. before assignment
+        assert "f64 n0 = " in code
+
+    def test_no_elimination_emits_moves(self):
+        base = (
+            "float->float filter Id() { work push 1 pop 1 "
+            "{ push(pop()); } }"
+            "void->void pipeline P { add Src(); add splitjoin { "
+            "split duplicate; add Id(); add Id(); "
+            "join roundrobin(1, 1); }; add Snk(); }")
+        kept = laminar_code(base,
+                            LoweringOptions(eliminate_splitjoin=False))
+        eliminated = laminar_code(base)
+        assert len(kept) > len(eliminated)
+
+    def test_int_min_literal(self):
+        from repro.backend.laminar_c import generate_laminar_c
+        from repro.lir import (BinOp, PrintOp, Program, Temp, const_int)
+        from repro.frontend.types import INT
+        program = Program(name="edge")
+        t = Temp(INT)
+        program.steady = [
+            BinOp(result=t, op="+", lhs=const_int(-2147483648),
+                  rhs=const_int(0)),
+            PrintOp(result=None, value=t),
+        ]
+        code = generate_laminar_c(program)
+        assert "(-2147483647 - 1)" in code
+
+    def test_boolean_prints_as_int(self):
+        code = compile_source(
+            "void->int filter S() { work push 1 { push(randi(2)); } }"
+            "int->void filter P() { work pop 1 "
+            "{ println(pop()); } }"
+            "void->void pipeline Top { add S(); add P(); }").laminar_c()
+        assert "repro_print_i32(" in code
+
+    def test_setup_init_steady_present(self, demo_stream):
+        code = demo_stream.laminar_c()
+        for section in ("repro_setup", "repro_init_schedule",
+                        "repro_steady"):
+            assert f"static void {section}(void)" in code

@@ -1,0 +1,90 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from tests.conftest import TINY_PROGRAM
+
+
+@pytest.fixture()
+def tiny_file(tmp_path):
+    path = tmp_path / "tiny.str"
+    path.write_text(TINY_PROGRAM)
+    return str(path)
+
+
+class TestRun:
+    def test_run_prints_outputs(self, tiny_file, capsys):
+        assert main(["run", tiny_file, "-n", "3"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.splitlines() == ["0.0", "2.5", "5.0"]
+        assert "checksum" in captured.err
+
+    def test_run_quiet(self, tiny_file, capsys):
+        assert main(["run", tiny_file, "-n", "2", "--quiet"]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_run_with_ablation_flags(self, tiny_file, capsys):
+        assert main(["run", tiny_file, "-n", "2", "--no-elim",
+                     "--no-opt", "--quiet"]) == 0
+
+    def test_missing_file(self, capsys):
+        assert main(["run", "/does/not/exist.str"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_compile_error_reported(self, tmp_path, capsys):
+        path = tmp_path / "bad.str"
+        path.write_text("void->void pipeline P { }")
+        assert main(["run", str(path)]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestEmit:
+    def test_emit_lir(self, tiny_file, capsys):
+        assert main(["emit", tiny_file, "--form", "lir"]) == 0
+        out = capsys.readouterr().out
+        assert "program Tiny" in out
+        assert "steady" in out
+
+    def test_emit_c(self, tiny_file, capsys):
+        assert main(["emit", tiny_file, "--form", "c"]) == 0
+        out = capsys.readouterr().out
+        assert "repro_steady" in out
+        assert "int main" in out
+
+    def test_emit_fifo_c(self, tiny_file, capsys):
+        assert main(["emit", tiny_file, "--form", "fifo-c"]) == 0
+        out = capsys.readouterr().out
+        assert "_push(" in out
+
+
+class TestGraph:
+    def test_graph_text(self, tiny_file, capsys):
+        assert main(["graph", tiny_file]) == 0
+        out = capsys.readouterr().out
+        assert "Ramp" in out
+        assert "schedule:" in out
+
+    def test_graph_dot(self, tiny_file, capsys):
+        assert main(["graph", tiny_file, "--dot"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert "shape=box" in out
+
+
+class TestSuiteCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fm_radio" in out
+        assert "bitonic_sort" in out
+
+    def test_report(self, capsys):
+        assert main(["report", "lattice", "-n", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "outputs match: True" in out
+        assert "Intel i7-2600K" in out
+
+    def test_report_unknown(self, capsys):
+        assert main(["report", "nope"]) == 1
+        assert "unknown benchmark" in capsys.readouterr().err

@@ -1,0 +1,90 @@
+"""Tests for the intrinsic table and diagnostics formatting."""
+
+import math
+
+import pytest
+
+from repro.frontend.errors import (CompileError, SourceLocation)
+from repro.frontend.intrinsics import (INTRINSICS, XorShift32,
+                                       expects_int_args, result_type)
+from repro.frontend.types import FLOAT, INT
+
+
+class TestIntrinsicTable:
+    def test_transcendentals_present(self):
+        for name in ("sin", "cos", "tan", "exp", "log", "sqrt", "atan2",
+                     "pow", "floor", "ceil", "round", "abs", "min", "max",
+                     "fmod", "randf", "randi"):
+            assert name in INTRINSICS
+
+    def test_arities(self):
+        assert INTRINSICS["sin"].arity == 1
+        assert INTRINSICS["atan2"].arity == 2
+        assert INTRINSICS["randf"].arity == 0
+        assert INTRINSICS["randi"].arity == 1
+
+    def test_purity(self):
+        assert INTRINSICS["sin"].pure
+        assert not INTRINSICS["randf"].pure
+        assert not INTRINSICS["randi"].pure
+
+    def test_impls_match_math(self):
+        assert INTRINSICS["sin"].impl(1.0) == math.sin(1.0)
+        assert INTRINSICS["pow"].impl(2.0, 10.0) == 1024.0
+        assert INTRINSICS["round"].impl(2.5) == 3.0
+        assert INTRINSICS["round"].impl(-2.5) == -2.0  # floor(x+0.5)
+
+    def test_result_types(self):
+        assert result_type(INTRINSICS["sin"], [INT]) == FLOAT
+        assert result_type(INTRINSICS["abs"], [INT]) == INT
+        assert result_type(INTRINSICS["abs"], [FLOAT]) == FLOAT
+        assert result_type(INTRINSICS["min"], [INT, INT]) == INT
+        assert result_type(INTRINSICS["min"], [INT, FLOAT]) == FLOAT
+        assert result_type(INTRINSICS["randi"], [INT]) == INT
+
+    def test_int_arg_requirements(self):
+        assert expects_int_args(INTRINSICS["randi"])
+        assert not expects_int_args(INTRINSICS["min"])
+
+    def test_c_names(self):
+        assert INTRINSICS["randf"].c_name == "repro_randf"
+        assert INTRINSICS["sin"].c_name == "sin"
+
+
+class TestXorShift:
+    def test_zero_seed_rejected(self):
+        with pytest.raises(ValueError):
+            XorShift32(seed=0)
+
+    def test_same_seed_same_stream(self):
+        a = XorShift32(seed=42)
+        b = XorShift32(seed=42)
+        assert [a.next_u32() for _ in range(8)] == \
+            [b.next_u32() for _ in range(8)]
+
+    def test_randi_negative_bound_rejected(self):
+        with pytest.raises(ValueError):
+            XorShift32().randi(0)
+
+
+class TestDiagnostics:
+    def test_location_str(self):
+        loc = SourceLocation("f.str", 3, 7)
+        assert str(loc) == "f.str:3:7"
+
+    def test_error_carries_location(self):
+        error = CompileError("boom", SourceLocation("f.str", 2, 4),
+                             source="line one\nline two")
+        text = error.format()
+        assert "f.str:2:4" in text
+        assert "line two" in text
+        assert text.splitlines()[-1] == "   ^"
+
+    def test_error_without_source(self):
+        error = CompileError("boom", SourceLocation("f.str", 2, 4))
+        assert error.format() == "f.str:2:4: error: boom"
+
+    def test_error_line_out_of_range(self):
+        error = CompileError("boom", SourceLocation("f.str", 99, 1),
+                             source="one line")
+        assert "99:1" in error.format()

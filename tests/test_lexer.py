@@ -1,0 +1,140 @@
+"""Unit tests for the lexer."""
+
+import pytest
+
+from repro.frontend.errors import LexError
+from repro.frontend.lexer import tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)][:-1]  # drop EOF
+
+
+class TestBasics:
+    def test_empty_source_yields_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind == "eof"
+
+    def test_identifier(self):
+        tokens = tokenize("hello_42")
+        assert tokens[0].kind == "ident"
+        assert tokens[0].text == "hello_42"
+
+    def test_keywords_are_their_own_kind(self):
+        assert kinds("filter pipeline work push")[:-1] == \
+            ["filter", "pipeline", "work", "push"]
+
+    def test_keyword_prefix_is_identifier(self):
+        tokens = tokenize("pushy popper")
+        assert [t.kind for t in tokens[:-1]] == ["ident", "ident"]
+
+    def test_eof_is_idempotent(self):
+        tokens = tokenize("x")
+        assert tokens[-1].kind == "eof"
+
+
+class TestNumbers:
+    def test_int_literal(self):
+        token = tokenize("1234")[0]
+        assert token.kind == "int_lit"
+        assert token.text == "1234"
+
+    def test_float_with_point(self):
+        assert tokenize("3.25")[0].kind == "float_lit"
+
+    def test_float_leading_dot(self):
+        token = tokenize(".5")[0]
+        assert token.kind == "float_lit"
+        assert float(token.text) == 0.5
+
+    def test_float_exponent(self):
+        assert tokenize("1e9")[0].kind == "float_lit"
+        assert tokenize("2.5e-3")[0].kind == "float_lit"
+        assert tokenize("7E+2")[0].kind == "float_lit"
+
+    def test_float_f_suffix(self):
+        token = tokenize("1.5f")[0]
+        assert token.kind == "float_lit"
+        assert token.text == "1.5"
+
+    def test_int_with_f_suffix_is_float(self):
+        assert tokenize("3f")[0].kind == "float_lit"
+
+    def test_int_then_dot_dot_is_not_float(self):
+        # `1.` followed by another `.` should not swallow both dots.
+        tokens = tokenize("1 . x")
+        assert tokens[0].kind == "int_lit"
+
+
+class TestOperators:
+    def test_maximal_munch_shift(self):
+        assert kinds("a << b")[:-1] == ["ident", "<<", "ident"]
+
+    def test_maximal_munch_compound_assign(self):
+        assert kinds("a <<= b")[:-1] == ["ident", "<<=", "ident"]
+
+    def test_arrow(self):
+        assert kinds("int->float")[:-1] == ["int", "->", "float"]
+
+    def test_arrow_vs_minus(self):
+        assert kinds("a - > b")[:-1] == ["ident", "-", ">", "ident"]
+
+    def test_increment(self):
+        assert kinds("i++")[:-1] == ["ident", "++"]
+
+    def test_all_single_chars(self):
+        source = "+ - * / % = < > ! ~ & | ^ ( ) { } [ ] , ; : ? ."
+        expected = source.split()
+        assert kinds(source)[:-1] == expected
+
+
+class TestCommentsAndStrings:
+    def test_line_comment(self):
+        assert kinds("a // comment\n b")[:-1] == ["ident", "ident"]
+
+    def test_block_comment(self):
+        assert kinds("a /* x\ny */ b")[:-1] == ["ident", "ident"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError, match="unterminated block comment"):
+            tokenize("a /* oops")
+
+    def test_string_literal(self):
+        token = tokenize('"hi there"')[0]
+        assert token.kind == "string"
+        assert token.text == "hi there"
+
+    def test_string_escapes(self):
+        assert tokenize(r'"a\nb\t\"q\""')[0].text == 'a\nb\t"q"'
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError, match="unterminated string"):
+            tokenize('"oops')
+
+    def test_unknown_escape(self):
+        with pytest.raises(LexError, match="unknown escape"):
+            tokenize(r'"\q"')
+
+
+class TestLocations:
+    def test_line_and_column(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].loc.line, tokens[0].loc.column) == (1, 1)
+        assert (tokens[1].loc.line, tokens[1].loc.column) == (2, 3)
+
+    def test_location_after_comment(self):
+        tokens = tokenize("// c\nx")
+        assert tokens[0].loc.line == 2
+
+    def test_filename_recorded(self):
+        token = tokenize("x", filename="foo.str")[0]
+        assert token.loc.filename == "foo.str"
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError, match="unexpected character"):
+            tokenize("a $ b")

@@ -1,0 +1,137 @@
+"""Tests for the platform cost models, energy model, spill estimation and
+the analytic communication metric."""
+
+import pytest
+
+from repro import compile_source
+from repro.frontend.types import FLOAT
+from repro.interp.counters import Counters
+from repro.lir import BinOp, Program, Temp, const_float
+from repro.machine import (CORTEX_A15, I7_2600K, OPTERON_6378, PLATFORMS,
+                           XEON_PHI_3120A, communication_report,
+                           estimate_spills, peak_live_values)
+
+PREAMBLE = """
+void->float filter Src() { work push 1 { push(randf()); } }
+float->void filter Snk() { work pop 1 { println(pop()); } }
+float->float filter Id() { work push 1 pop 1 { push(pop()); } }
+"""
+
+
+class TestCostModels:
+    def test_four_platforms_registered(self):
+        assert set(PLATFORMS) == {"i7-2600k", "opteron-6378",
+                                  "xeon-phi-3120a", "cortex-a15"}
+
+    def test_cycles_monotone_in_ops(self):
+        light = Counters(alu=10)
+        heavy = Counters(alu=10, loads=20, stores=20)
+        for model in PLATFORMS.values():
+            assert model.cycles(heavy) > model.cycles(light)
+
+    def test_spills_add_memory_cycles(self):
+        counters = Counters(alu=100)
+        assert I7_2600K.cycles(counters, spills=10) > \
+            I7_2600K.cycles(counters, spills=0)
+
+    def test_seconds_uses_frequency(self):
+        counters = Counters(alu=1000)
+        fast = I7_2600K.seconds(counters)
+        slow = XEON_PHI_3120A.seconds(counters)
+        assert slow > fast
+
+    def test_energy_positive(self):
+        counters = Counters(alu=5, mul=2, loads=3, intrinsic=1)
+        for model in PLATFORMS.values():
+            assert model.energy_pj(counters) > 0
+
+    def test_models_are_distinct(self):
+        mixed = Counters(alu=100, mul=20, div=5, loads=50, stores=50,
+                         intrinsic=3, branch=10)
+        cycle_counts = {model.name: model.cycles(mixed)
+                        for model in PLATFORMS.values()}
+        assert len(set(cycle_counts.values())) == len(cycle_counts)
+
+    def test_a15_has_fewer_registers(self):
+        assert CORTEX_A15.registers < OPTERON_6378.registers
+
+
+class TestLiveness:
+    def test_peak_live_simple_chain(self):
+        a, b, c = Temp(FLOAT), Temp(FLOAT), Temp(FLOAT)
+        ops = [
+            BinOp(result=a, op="+", lhs=const_float(1.0),
+                  rhs=const_float(2.0)),
+            BinOp(result=b, op="+", lhs=a, rhs=const_float(1.0)),
+            BinOp(result=c, op="+", lhs=b, rhs=const_float(1.0)),
+        ]
+        assert peak_live_values(ops, [], [c]) <= 2
+
+    def test_peak_live_wide_fanin(self):
+        temps = [Temp(FLOAT) for _ in range(8)]
+        ops = [BinOp(result=t, op="+", lhs=const_float(1.0),
+                     rhs=const_float(2.0)) for t in temps]
+        total = Temp(FLOAT)
+        # one final op consuming the first two, all 8 live until the end
+        ops.append(BinOp(result=total, op="+", lhs=temps[0],
+                         rhs=temps[1]))
+        peak = peak_live_values(ops, [], temps + [total])
+        assert peak >= 8
+
+    def test_spill_estimate_zero_for_tiny_program(self, tiny_stream):
+        program = tiny_stream.lower().program
+        assert estimate_spills(program, I7_2600K) == 0
+
+    def test_spill_estimate_grows_with_small_register_file(self,
+                                                           demo_stream):
+        from dataclasses import replace
+        program = demo_stream.lower().program
+        small = replace(I7_2600K, registers=4)
+        assert estimate_spills(program, small) >= \
+            estimate_spills(program, I7_2600K)
+
+
+class TestCommunication:
+    def test_linear_pipeline_no_reduction(self):
+        stream = compile_source(
+            PREAMBLE + "void->void pipeline P { add Src(); add Id(); "
+            "add Snk(); }")
+        report = stream.communication()
+        assert report.reduction == 0.0
+        assert report.fifo_tokens == report.laminar_tokens == 2
+
+    def test_duplicate_splitjoin_reduction(self):
+        stream = compile_source(
+            PREAMBLE + "void->void pipeline P { add Src(); add splitjoin { "
+            "split duplicate; add Id(); add Id(); join roundrobin(1, 1); };"
+            " add Snk(); }")
+        report = stream.communication()
+        # FIFO: src->split 1, split->branches 2, branches->join 2,
+        # join->snk 2, snk has no output => 7 writes; laminar drops the
+        # splitter (2) and joiner (2) writes.
+        assert report.fifo_tokens == 7
+        assert report.laminar_tokens == 3
+        assert report.reduction == pytest.approx(4 / 7)
+
+    def test_bytes_account_for_type(self):
+        stream = compile_source(
+            "void->int filter S() { work push 1 { push(randi(5)); } }"
+            "int->void filter P() { work pop 1 { println(pop()); } }"
+            "void->void pipeline Top { add S(); add P(); }")
+        report = stream.communication()
+        assert report.fifo_bytes == report.fifo_tokens * 4
+
+    def test_float_bytes(self, tiny_stream):
+        report = tiny_stream.communication()
+        assert report.fifo_bytes == report.fifo_tokens * 8
+
+    def test_reduction_in_unit_interval_for_suite(self):
+        from repro.suite import benchmark_names, load_benchmark
+        for name in ["dct", "autocor"]:
+            report = load_benchmark(name).communication()
+            assert 0.0 <= report.reduction < 1.0
+
+    def test_report_is_pure_function_of_schedule(self, demo_stream):
+        first = communication_report(demo_stream.schedule)
+        second = communication_report(demo_stream.schedule)
+        assert first == second

@@ -1,0 +1,116 @@
+"""Differential testing against the native toolchain.
+
+Every test compiles generated C with the host compiler and requires
+bit-identical output checksums across all execution routes.  Skipped
+when no compiler is available.
+"""
+
+import pytest
+
+from repro import LoweringOptions, compile_source
+from repro.backend import checksum_outputs, compile_and_run
+from tests.conftest import requires_cc
+
+pytestmark = requires_cc
+
+PREAMBLE = """
+void->float filter Src() { work push 1 { push(randf()); } }
+float->void filter Snk() { work pop 1 { println(pop()); } }
+"""
+
+# Programs chosen to stress distinct codegen paths.
+PROGRAMS = {
+    "weighted_roundrobin": (
+        PREAMBLE +
+        "float->float filter Id() { work push 1 pop 1 { push(pop()); } }"
+        "void->void pipeline P { add Src(); add splitjoin { "
+        "split roundrobin(3, 2); add Id(); add Id(); "
+        "join roundrobin(3, 2); }; add Snk(); }"),
+    "stateful_iir": (
+        PREAMBLE +
+        "float->float filter IIR(float a) { float s; init { s = 0; } "
+        "work push 1 pop 1 { s = a * s + (1 - a) * pop(); push(s); } }"
+        "void->void pipeline P { add Src(); add IIR(0.9); add IIR(0.5); "
+        "add Snk(); }"),
+    "int_hash_chain": (
+        "void->int filter S() { work push 1 { push(randi(1000000)); } }"
+        "int->int filter H() { work push 1 pop 1 { int v = pop(); "
+        "v = v * 2654435761; v = v ^ (v >> 16); v = v * 2246822519; "
+        "push(v ^ (v >> 13)); } }"
+        "int->void filter P() { work pop 1 { println(pop()); } }"
+        "void->void pipeline Top { add S(); add H(); add H(); add P(); }"),
+    "select_heavy": (
+        PREAMBLE +
+        "float->float filter Tri() { work push 1 pop 1 { "
+        "float v = pop(); float r = v < 0.33 ? v * 3 "
+        ": v < 0.66 ? 2 - v * 3 : v - 0.66; push(r); } }"
+        "void->void pipeline P { add Src(); add Tri(); add Snk(); }"),
+    "feedback": (
+        PREAMBLE +
+        "float->float filter Mix() { work push 2 pop 2 { "
+        "float a = pop(); float b = pop(); push(a + 0.5 * b); "
+        "push(a - 0.5 * b); } }"
+        "float->float filter Id() { work push 1 pop 1 { push(pop()); } }"
+        "void->void pipeline P { add Src(); add feedbackloop { "
+        "join roundrobin(1, 1); body Mix(); loop Id(); "
+        "split roundrobin(1, 1); enqueue 0.25; }; add Snk(); }"),
+    "helper_early_return": (
+        PREAMBLE +
+        "float->float filter F() { "
+        "float clamp(float x) { if (x > 0.8) return 0.8; "
+        "if (x < 0.2) return 0.2; return x; } "
+        "work push 1 pop 1 { push(clamp(pop())); } }"
+        "void->void pipeline P { add Src(); add F(); add Snk(); }"),
+}
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_four_way_checksum(name, tmp_path):
+    iterations = 24
+    stream = compile_source(PROGRAMS[name])
+    expected = checksum_outputs(stream.run_fifo(iterations).outputs)
+    laminar = checksum_outputs(stream.run_laminar(iterations).outputs)
+    assert laminar == expected, "interpreter routes diverge"
+    native_fifo = compile_and_run(stream.fifo_c(), iterations,
+                                  workdir=tmp_path, name="f")
+    native_laminar = compile_and_run(stream.laminar_c(), iterations,
+                                     workdir=tmp_path, name="l")
+    assert native_fifo.checksum == expected, "native FIFO diverges"
+    assert native_laminar.checksum == expected, "native LaminarIR diverges"
+
+
+def test_scaled_native_matches(tmp_path):
+    stream = compile_source(
+        PREAMBLE +
+        "float->float filter W() { work push 1 pop 1 peek 3 { "
+        "push(peek(0) * 0.5 + peek(2)); pop(); } }"
+        "void->void pipeline P { add Src(); add W(); add Snk(); }")
+    iterations = 24
+    expected = checksum_outputs(stream.run_fifo(iterations).outputs)
+    for multiplier in (2, 4):
+        code = stream.laminar_c(
+            LoweringOptions(steady_multiplier=multiplier))
+        native = compile_and_run(code, iterations // multiplier,
+                                 workdir=tmp_path,
+                                 name=f"scaled{multiplier}")
+        assert native.checksum == expected, multiplier
+        assert native.output_count == iterations
+
+
+def test_ablation_native_matches(tmp_path):
+    stream = compile_source(PROGRAMS["weighted_roundrobin"])
+    iterations = 20
+    expected = checksum_outputs(stream.run_fifo(iterations).outputs)
+    code = stream.laminar_c(LoweringOptions(eliminate_splitjoin=False))
+    native = compile_and_run(code, iterations, workdir=tmp_path)
+    assert native.checksum == expected
+
+
+def test_suite_benchmark_native(tmp_path):
+    from repro.suite import load_benchmark
+    stream = load_benchmark("fft")
+    iterations = 6
+    expected = checksum_outputs(stream.run_fifo(iterations).outputs)
+    native = compile_and_run(stream.laminar_c(), iterations,
+                             workdir=tmp_path)
+    assert native.checksum == expected

@@ -1,0 +1,299 @@
+"""Unit tests for the parser."""
+
+import pytest
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend.errors import ParseError
+from repro.frontend.parser import parse
+from repro.frontend.types import FLOAT, INT, VOID
+
+
+def parse_filter(body, signature="float->float", name="F"):
+    program = parse(f"{signature} filter {name} {{ {body} }}")
+    decl = program.stream(name)
+    assert isinstance(decl, ast.FilterDecl)
+    return decl
+
+
+def parse_expr(text):
+    decl = parse_filter(f"work push 1 pop 1 {{ push({text}); pop(); }}")
+    push = decl.work.body.stmts[0]
+    assert isinstance(push, ast.PushStmt)
+    return push.value
+
+
+class TestStreamDecls:
+    def test_filter_signature(self):
+        decl = parse_filter("work push 1 pop 1 { push(pop()); }")
+        assert decl.in_type == FLOAT
+        assert decl.out_type == FLOAT
+
+    def test_void_source(self):
+        decl = parse_filter("work push 1 { push(1.0); }", "void->float")
+        assert decl.in_type == VOID
+
+    def test_parameters(self):
+        program = parse("int->int filter F(int n, float k) "
+                        "{ work push 1 pop 1 { push(pop()); } }")
+        decl = program.stream("F")
+        assert [p.name for p in decl.params] == ["n", "k"]
+        assert [p.ty for p in decl.params] == [INT, FLOAT]
+
+    def test_top_is_last_declaration(self):
+        program = parse(
+            "void->void pipeline A { add B(); }"
+            "void->void pipeline B { add A(); }")
+        assert program.top.name == "B"
+
+    def test_missing_work_is_error(self):
+        with pytest.raises(ParseError, match="no work block"):
+            parse("int->int filter F { init { } }")
+
+    def test_duplicate_work_is_error(self):
+        with pytest.raises(ParseError, match="duplicate work"):
+            parse_filter("work pop 1 { pop(); } work pop 1 { pop(); }",
+                         "float->void")
+
+    def test_empty_program_is_error(self):
+        with pytest.raises(ParseError, match="empty program"):
+            parse("   ")
+
+
+class TestFilterMembers:
+    def test_fields(self):
+        decl = parse_filter(
+            "float x; int y = 3; work push 1 pop 1 { push(pop()); }")
+        assert [f.name for f in decl.fields] == ["x", "y"]
+        assert decl.fields[1].init is not None
+
+    def test_array_field_type_prefix(self):
+        decl = parse_filter(
+            "float[8] w; work push 1 pop 1 { push(pop()); }")
+        assert len(decl.fields[0].dims) == 1
+
+    def test_array_field_suffix_form(self):
+        decl = parse_filter(
+            "float w[8][4]; work push 1 pop 1 { push(pop()); }")
+        assert len(decl.fields[0].dims) == 2
+
+    def test_comma_separated_fields(self):
+        decl = parse_filter(
+            "int a, b, c; work push 1 pop 1 { push(pop()); }")
+        assert [f.name for f in decl.fields] == ["a", "b", "c"]
+
+    def test_helper_function(self):
+        decl = parse_filter(
+            "float f(float x) { return x * 2; } "
+            "work push 1 pop 1 { push(f(pop())); }")
+        assert decl.helpers[0].name == "f"
+        assert len(decl.helpers[0].params) == 1
+
+    def test_init_block(self):
+        decl = parse_filter(
+            "float x; init { x = 1; } work push 1 pop 1 { push(pop()); }")
+        assert decl.init is not None
+
+    def test_prework(self):
+        decl = parse_filter(
+            "prework push 2 { push(0); push(0); } "
+            "work push 1 pop 1 { push(pop()); }")
+        assert decl.prework is not None
+        assert decl.work is not None
+
+    def test_rates_are_expressions(self):
+        decl = parse_filter(
+            "work push 1 pop 1 + 2 peek 2 * 4 { push(pop()); }")
+        assert isinstance(decl.work.pop_rate, ast.BinaryOp)
+        assert isinstance(decl.work.peek_rate, ast.BinaryOp)
+
+
+class TestComposites:
+    def test_pipeline_adds(self):
+        program = parse(
+            "void->void pipeline P { add A(); add B(1, 2); }")
+        decl = program.stream("P")
+        adds = [s for s in decl.body.stmts if isinstance(s, ast.AddStmt)]
+        assert [a.child for a in adds] == ["A", "B"]
+        assert len(adds[1].args) == 2
+
+    def test_pipeline_with_for(self):
+        program = parse(
+            "void->void pipeline P { for (int i = 0; i < 4; i++) "
+            "add Stage(i); }")
+        decl = program.stream("P")
+        assert isinstance(decl.body.stmts[0], ast.ForStmt)
+
+    def test_splitjoin(self):
+        program = parse(
+            "float->float splitjoin S { split duplicate; add A(); "
+            "add B(); join roundrobin(1, 2); }")
+        decl = program.stream("S")
+        assert decl.split.kind == "duplicate"
+        assert len(decl.join.weights) == 2
+
+    def test_splitjoin_roundrobin_default(self):
+        program = parse(
+            "float->float splitjoin S { split roundrobin; add A(); "
+            "join roundrobin; }")
+        decl = program.stream("S")
+        assert decl.split.kind == "roundrobin"
+        assert decl.split.weights == []
+
+    def test_splitjoin_requires_split_and_join(self):
+        with pytest.raises(ParseError, match="needs both split and join"):
+            parse("float->float splitjoin S { add A(); }")
+
+    def test_duplicate_split_is_error(self):
+        with pytest.raises(ParseError, match="duplicate split"):
+            parse("float->float splitjoin S { split duplicate; "
+                  "split duplicate; add A(); join roundrobin; }")
+
+    def test_anonymous_pipeline(self):
+        program = parse(
+            "void->void pipeline P { add pipeline { add A(); }; }")
+        decl = program.stream("P")
+        add = decl.body.stmts[0]
+        assert isinstance(add, ast.AddStmt)
+        assert add.anonymous is not None
+        assert isinstance(add.anonymous, ast.PipelineDecl)
+
+    def test_anonymous_filter_with_signature(self):
+        program = parse(
+            "void->void pipeline P { add float->float filter "
+            "{ work push 1 pop 1 { push(pop()); } }; }")
+        add = program.stream("P").body.stmts[0]
+        assert isinstance(add.anonymous, ast.FilterDecl)
+
+    def test_nested_block_in_composite_keeps_add(self):
+        program = parse(
+            "void->void pipeline P { for (int i = 0; i < 2; i++) "
+            "{ int j = i; add S(j); } }")
+        assert program.stream("P") is not None
+
+    def test_add_outside_composite_is_error(self):
+        with pytest.raises(ParseError, match="composite"):
+            parse("float->float filter F { work push 1 pop 1 "
+                  "{ add X(); } }")
+
+    def test_feedbackloop(self):
+        program = parse("""
+            float->float feedbackloop FB {
+              join roundrobin(1, 1);
+              body BodyF();
+              loop LoopF();
+              split roundrobin(1, 1);
+              enqueue 0;
+              enqueue 1;
+            }""")
+        decl = program.stream("FB")
+        assert isinstance(decl, ast.FeedbackLoopDecl)
+        assert decl.body_add.child == "BodyF"
+        assert decl.loop_add.child == "LoopF"
+        assert len(decl.enqueues) == 2
+
+    def test_feedbackloop_requires_all_parts(self):
+        with pytest.raises(ParseError, match="needs join, body, loop"):
+            parse("float->float feedbackloop FB { join roundrobin(1,1); "
+                  "body B(); split roundrobin(1,1); }")
+
+
+class TestStatements:
+    def test_compound_assignment(self):
+        decl = parse_filter(
+            "work push 1 pop 1 { float x = pop(); x += 2; push(x); }")
+        assign = decl.work.body.stmts[1]
+        assert isinstance(assign, ast.Assign)
+        assert assign.op == "+="
+
+    def test_postfix_increment_desugars(self):
+        decl = parse_filter(
+            "work push 1 pop 1 { int i = 0; i++; push(pop()); }")
+        assign = decl.work.body.stmts[1]
+        assert isinstance(assign, ast.Assign)
+        assert assign.op == "+="
+
+    def test_prefix_decrement_desugars(self):
+        decl = parse_filter(
+            "work push 1 pop 1 { int i = 9; --i; push(pop()); }")
+        assign = decl.work.body.stmts[1]
+        assert assign.op == "-="
+
+    def test_empty_statement(self):
+        decl = parse_filter("work push 1 pop 1 { ; push(pop()); }")
+        assert isinstance(decl.work.body.stmts[0], ast.Block)
+
+    def test_while_and_control(self):
+        decl = parse_filter(
+            "work push 1 pop 1 { int i = 0; while (i < 3) { "
+            "if (i == 1) { i++; continue; } i++; } push(pop()); }")
+        loop = decl.work.body.stmts[1]
+        assert isinstance(loop, ast.WhileStmt)
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert isinstance(expr, ast.BinaryOp)
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_precedence_shift_below_add(self):
+        expr = parse_expr("1 << 2 + 3")
+        assert expr.op == "<<"
+
+    def test_left_associativity(self):
+        expr = parse_expr("10 - 4 - 3")
+        assert expr.op == "-"
+        assert expr.left.op == "-"
+
+    def test_ternary_right_associative(self):
+        decl = parse_filter(
+            "work push 1 pop 1 { int a = 1 > 0 ? 1 : 0 > 1 ? 2 : 3; "
+            "push(pop()); }")
+        var = decl.work.body.stmts[0]
+        assert isinstance(var.init, ast.TernaryOp)
+        assert isinstance(var.init.otherwise, ast.TernaryOp)
+
+    def test_cast(self):
+        expr = parse_expr("(int)2.5")
+        assert isinstance(expr, ast.Cast)
+        assert expr.target == INT
+
+    def test_cast_vs_parenthesized(self):
+        expr = parse_expr("(x) + 1")
+        assert isinstance(expr, ast.BinaryOp)
+
+    def test_peek_and_pop(self):
+        expr = parse_expr("peek(2) + pop()")
+        assert isinstance(expr.left, ast.PeekExpr)
+        assert isinstance(expr.right, ast.PopExpr)
+
+    def test_pi_literal(self):
+        expr = parse_expr("pi")
+        assert isinstance(expr, ast.FloatLit)
+        assert abs(expr.value - 3.14159265) < 1e-6
+
+    def test_call_with_args(self):
+        expr = parse_expr("atan2(1.0, 2.0)")
+        assert isinstance(expr, ast.Call)
+        assert len(expr.args) == 2
+
+    def test_nested_indexing(self):
+        decl = parse_filter(
+            "float m[2][2]; work push 1 pop 1 { push(m[0][1]); pop(); }")
+        push = decl.work.body.stmts[0]
+        assert isinstance(push.value, ast.Index)
+        assert isinstance(push.value.base, ast.Index)
+
+    def test_unary_plus_is_dropped(self):
+        expr = parse_expr("+5")
+        assert isinstance(expr, ast.IntLit)
+
+    def test_logical_operators(self):
+        expr = parse_expr("1 < 2 && 3 > 2 || false")
+        assert expr.op == "||"
+
+    def test_error_has_location(self):
+        with pytest.raises(ParseError) as exc:
+            parse("float->float filter F { work push 1 pop 1 { push(+); } }")
+        assert exc.value.loc.line == 1

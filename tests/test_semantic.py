@@ -1,0 +1,289 @@
+"""Unit tests for semantic analysis (types, scopes, token-op placement)."""
+
+import pytest
+
+from repro.frontend import parse_and_check
+from repro.frontend.errors import SemanticError
+
+
+def check(source):
+    return parse_and_check(source)
+
+
+def check_filter(body, signature="float->float", params=""):
+    return check(f"{signature} filter F({params}) {{ {body} }}\n"
+                 "void->void pipeline Top { add F(); }"
+                 if not params else
+                 f"{signature} filter F({params}) {{ {body} }}")
+
+
+def expect_error(source, pattern):
+    with pytest.raises(SemanticError, match=pattern):
+        check(source)
+
+
+FILTER_OK = "float->float filter F { work push 1 pop 1 { push(pop()); } }"
+
+
+class TestProgramLevel:
+    def test_duplicate_stream_names(self):
+        expect_error(FILTER_OK + FILTER_OK, "duplicate stream name")
+
+    def test_top_level_params_rejected(self):
+        expect_error(
+            FILTER_OK + " void->void pipeline Top(int n) { add F(); }",
+            "must not take parameters")
+
+    def test_valid_program_passes(self):
+        check(FILTER_OK)
+
+
+class TestTokenOps:
+    def test_push_in_void_output(self):
+        expect_error(
+            "float->void filter F { work pop 1 { push(pop()); } }",
+            "void output")
+
+    def test_pop_in_void_input(self):
+        expect_error(
+            "void->float filter F { work push 1 { push(pop()); } }",
+            "void input")
+
+    def test_peek_in_void_input(self):
+        expect_error(
+            "void->float filter F { work push 1 { push(peek(0)); } }",
+            "void input")
+
+    def test_push_outside_work(self):
+        expect_error(
+            "void->float filter F { init { push(1.0); } "
+            "work push 1 { push(1.0); } }",
+            "only allowed inside work")
+
+    def test_pop_in_helper_ok(self):
+        # StreamIt allows token ops in helpers called from work; we are
+        # stricter and reject them, keeping rates local to work bodies.
+        expect_error(
+            "float->float filter F { float f() { return pop(); } "
+            "work push 1 pop 1 { push(f()); } }",
+            "only allowed inside work")
+
+    def test_peek_offset_must_be_int(self):
+        expect_error(
+            "float->float filter F { work push 1 pop 1 peek 2 "
+            "{ push(peek(1.5)); pop(); } }",
+            "peek offset must be int")
+
+    def test_rate_must_be_int(self):
+        expect_error(
+            "float->float filter F { work push 1.5 pop 1 "
+            "{ push(pop()); } }",
+            "rate must be int")
+
+    def test_push_rate_on_void_output(self):
+        expect_error(
+            "float->void filter F { work push 1 pop 1 { pop(); } }",
+            "void output but a push rate")
+
+
+class TestTypes:
+    def test_int_plus_float_is_float(self):
+        check("float->float filter F { work push 1 pop 1 "
+              "{ push(pop() + 1); } }")
+
+    def test_float_to_int_requires_cast(self):
+        expect_error(
+            "float->float filter F { work push 1 pop 1 "
+            "{ int x = pop(); push(1.0); } }",
+            "cannot assign float to int")
+
+    def test_cast_allows_narrowing(self):
+        check("float->float filter F { work push 1 pop 1 "
+              "{ int x = (int)pop(); push(x); } }")
+
+    def test_modulo_requires_ints(self):
+        expect_error(
+            "float->float filter F { work push 1 pop 1 "
+            "{ push(pop() % 2.0); } }",
+            "requires int operands")
+
+    def test_condition_must_be_boolean(self):
+        expect_error(
+            "float->float filter F { work push 1 pop 1 "
+            "{ if (1) push(pop()); } }",
+            "expected boolean")
+
+    def test_comparison_yields_boolean(self):
+        check("float->float filter F { work push 1 pop 1 "
+              "{ if (pop() > 0) push(1.0); else push(0.0); } }")
+
+    def test_logical_on_numbers_rejected(self):
+        expect_error(
+            "float->float filter F { work push 1 pop 1 "
+            "{ boolean b = pop() && true; push(1.0); } }",
+            "expected boolean")
+
+    def test_bitwise_on_floats_rejected(self):
+        expect_error(
+            "float->float filter F { work push 1 pop 1 "
+            "{ push(pop() & 1.0); } }",
+            "requires int operands")
+
+    def test_ternary_branch_unification(self):
+        check("float->float filter F { work push 1 pop 1 "
+              "{ push(pop() > 0 ? 1 : 0.5); } }")
+
+    def test_ternary_mismatched_branches(self):
+        expect_error(
+            "float->float filter F { work push 1 pop 1 "
+            "{ push(pop() > 0 ? true : 1.0); } }",
+            "mismatched branches")
+
+    def test_push_type_checked(self):
+        expect_error(
+            "float->int filter F { work push 1 pop 1 { push(pop()); } }",
+            "cannot assign float to int")
+
+    def test_array_indexing(self):
+        check("float->float filter F { float[4] w; work push 1 pop 1 "
+              "{ push(w[0] + pop()); } }")
+
+    def test_index_into_scalar_rejected(self):
+        expect_error(
+            "float->float filter F { float x; work push 1 pop 1 "
+            "{ push(x[0] + pop()); } }",
+            "not an array")
+
+    def test_array_index_must_be_int(self):
+        expect_error(
+            "float->float filter F { float[4] w; work push 1 pop 1 "
+            "{ push(w[0.5] + pop()); } }",
+            "index must be int")
+
+    def test_print_array_rejected(self):
+        expect_error(
+            "float->void filter F { float[4] w; work pop 1 "
+            "{ pop(); println(w); } }",
+            "cannot print an array")
+
+
+class TestScopes:
+    def test_unknown_identifier(self):
+        expect_error(
+            "float->float filter F { work push 1 pop 1 { push(y); } }",
+            "unknown identifier 'y'")
+
+    def test_redefinition_in_same_scope(self):
+        expect_error(
+            "float->float filter F { work push 1 pop 1 "
+            "{ int x = 1; float x = 2; push(pop()); } }",
+            "redefinition")
+
+    def test_shadowing_in_nested_scope_ok(self):
+        check("float->float filter F { work push 1 pop 1 "
+              "{ int x = 1; { float x = 2.0; push(x); } pop(); } }")
+
+    def test_local_shadows_field(self):
+        check("float->float filter F { float x; work push 1 pop 1 "
+              "{ int x = 1; push(pop() + x); } }")
+
+    def test_assign_to_parameter_rejected(self):
+        expect_error(
+            "float->float filter F(int n) { work push 1 pop 1 "
+            "{ n = 3; push(pop()); } }"
+            "\nvoid->void pipeline T { add F(1); }",
+            "cannot assign to stream parameter")
+
+    def test_loop_variable_scoped_to_loop(self):
+        expect_error(
+            "float->float filter F { work push 1 pop 1 "
+            "{ for (int i = 0; i < 3; i++) { } push(i); pop(); } }",
+            "unknown identifier 'i'")
+
+
+class TestHelpersAndCalls:
+    def test_helper_call(self):
+        check("float->float filter F { float g(float v) { return v + 1; } "
+              "work push 1 pop 1 { push(g(pop())); } }")
+
+    def test_helper_arity_checked(self):
+        expect_error(
+            "float->float filter F { float g(float v) { return v; } "
+            "work push 1 pop 1 { push(g(1.0, 2.0)); } }",
+            "expects 1 argument")
+
+    def test_helper_shadowing_intrinsic_rejected(self):
+        expect_error(
+            "float->float filter F { float sin(float v) { return v; } "
+            "work push 1 pop 1 { push(sin(pop())); } }",
+            "shadows a built-in")
+
+    def test_unknown_function(self):
+        expect_error(
+            "float->float filter F { work push 1 pop 1 "
+            "{ push(frobnicate(pop())); } }",
+            "unknown function")
+
+    def test_intrinsic_arity(self):
+        expect_error(
+            "float->float filter F { work push 1 pop 1 "
+            "{ push(sin(1.0, 2.0)); } }",
+            "expects 1 argument")
+
+    def test_randi_requires_int(self):
+        expect_error(
+            "void->int filter F { work push 1 { push(randi(1.5)); } }",
+            "requires int arguments")
+
+    def test_return_outside_helper(self):
+        expect_error(
+            "float->float filter F { work push 1 pop 1 "
+            "{ push(pop()); return; } }",
+            "return outside of a helper")
+
+    def test_helper_return_type_checked(self):
+        expect_error(
+            "float->float filter F { int g() { return 1.5; } "
+            "work push 1 pop 1 { push(pop()); } }",
+            "cannot assign float to int")
+
+
+class TestComposites:
+    def test_unknown_child(self):
+        expect_error("void->void pipeline P { add Nope(); }",
+                      "unknown stream 'Nope'")
+
+    def test_add_arity_checked(self):
+        expect_error(
+            FILTER_OK + " void->void pipeline P { add F(3); }",
+            "expects 0 argument")
+
+    def test_add_arg_types_checked(self):
+        expect_error(
+            "float->float filter G(int n) "
+            "{ work push 1 pop 1 { push(pop()); } }"
+            "void->void pipeline P { add G(1.5); }",
+            "cannot assign float to int")
+
+    def test_empty_composite_rejected(self):
+        expect_error("void->void pipeline P { int x = 1; }",
+                      "adds no children")
+
+    def test_round_robin_weights_int(self):
+        expect_error(
+            FILTER_OK + " float->float splitjoin S { "
+            "split roundrobin(1.5); add F(); join roundrobin; }",
+            "weight must be int")
+
+    def test_anonymous_captures_enclosing_param(self):
+        check(
+            "float->float filter G(int n) "
+            "{ work push 1 pop 1 { push(pop() + n); } }"
+            "float->float pipeline P(int k) "
+            "{ add pipeline { add G(k); }; }"
+            "void->void pipeline Top { add P(3); }")
+
+    def test_while_in_composite_rejected(self):
+        expect_error(FILTER_OK + " void->void pipeline P { add F(); "
+                     "while (true) add F(); }",
+                     "not allowed in a composite body")
