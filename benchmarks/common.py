@@ -10,15 +10,23 @@ can run two ways:
 
 Evaluations are cached per (benchmark, options) so the whole suite is
 interpreted once per pytest session.
+
+All drivers share the observability tracer (:mod:`repro.obs`): run any
+of them with ``REPRO_TRACE=1`` to get a consistent per-stage breakdown
+(compile / schedule / lower / optimize / interpret) printed at exit.
 """
 
 from __future__ import annotations
 
+import atexit
 from functools import lru_cache
 from pathlib import Path
 
 from repro.evaluation import BenchmarkEvaluation, evaluate_benchmark
 from repro.lir import LoweringOptions
+from repro.obs import export as obs_export
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace
 from repro.opt import OptOptions
 from repro.suite import benchmark_names, load_benchmark
 
@@ -41,14 +49,20 @@ def evaluation(name: str, static_input: bool = False,
         opt = OptOptions(promote_state=False)
     else:
         opt = OptOptions()
-    return evaluate_benchmark(name, iterations=EVAL_ITERATIONS,
-                              lowering=lowering, opt=opt,
-                              static_input=static_input)
+    with trace.span("bench.evaluation", benchmark=name,
+                    static_input=static_input,
+                    eliminate_splitjoin=eliminate_splitjoin,
+                    optimize=optimize, promote=promote):
+        return evaluate_benchmark(name, iterations=EVAL_ITERATIONS,
+                                  lowering=lowering, opt=opt,
+                                  static_input=static_input)
 
 
 @lru_cache(maxsize=None)
 def compiled(name: str, static_input: bool = False):
-    return load_benchmark(name, static_input=static_input)
+    with trace.span("bench.compile", benchmark=name,
+                    static_input=static_input):
+        return load_benchmark(name, static_input=static_input)
 
 
 def all_names() -> list[str]:
@@ -65,3 +79,17 @@ def emit(name: str, text: str) -> None:
 
 def percent(fraction: float) -> str:
     return f"{fraction * 100:.1f}%"
+
+
+def _dump_trace_at_exit() -> None:  # pragma: no cover - exit hook
+    roots = trace.get_trace()
+    if not roots:
+        return
+    print()
+    print(obs_export.format_tree(
+        roots, obs_metrics.registry().as_dict(),
+        title="observability trace (REPRO_TRACE)"))
+
+
+if trace.is_enabled():
+    atexit.register(_dump_trace_at_exit)

@@ -8,9 +8,11 @@ optimizer, instrumented interpreters for both the FIFO baseline and
 LaminarIR, platform cost/energy models, and C backends for native runs.
 
 Entry points: :func:`compile_source` / :func:`compile_file`, returning a
-:class:`CompiledStream`.
+:class:`CompiledStream`.  Pipeline-wide tracing/metrics live in
+:mod:`repro.obs` (see ``docs/OBSERVABILITY.md``).
 """
 
+from repro import obs
 from repro.api import (CompiledStream, EquivalenceReport, LoweredResult,
                        check_equivalence, compile_file, compile_source)
 from repro.frontend.errors import CompileError
@@ -22,5 +24,5 @@ __version__ = "1.0.0"
 __all__ = [
     "CompileError", "CompiledStream", "EquivalenceReport",
     "LoweredResult", "LoweringOptions", "OptOptions", "check_equivalence",
-    "compile_file", "compile_source", "__version__",
+    "compile_file", "compile_source", "obs", "__version__",
 ]

@@ -16,6 +16,7 @@ interpreters, both C backends and the analytic metrics.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -30,8 +31,25 @@ from repro.graph import FlatGraph, StreamNode, elaborate, flatten, \
 from repro.interp import FifoInterpreter, LaminarInterpreter, RunResult
 from repro.lir import LoweringOptions, Program, lower, verify
 from repro.machine.metrics import CommunicationReport, communication_report
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace
 from repro.opt import OptOptions, OptStats, optimize
 from repro.scheduling import Schedule, build_schedule
+
+
+def _options_key(options: object) -> object:
+    """A hashable cache key from an options object's *field values*.
+
+    ``repr`` is not a safe key: dataclasses may exclude fields from their
+    repr (``field(repr=False)``) or override ``__repr__`` entirely, so
+    distinct nested ``PromoteOptions`` can collide.  Recursing over
+    ``dataclasses.fields`` keys on what actually changes behavior.
+    """
+    if dataclasses.is_dataclass(options) and not isinstance(options, type):
+        return (type(options).__qualname__,) + tuple(
+            (f.name, _options_key(getattr(options, f.name)))
+            for f in dataclasses.fields(options))
+    return options
 
 
 @dataclass
@@ -75,13 +93,18 @@ class CompiledStream:
     def lower(self, lowering: LoweringOptions | None = None,
               opt: OptOptions | None = None) -> LoweredResult:
         """Lower to LaminarIR and optimize.  Results are cached per options."""
-        key = (repr(lowering), repr(opt))
+        key = (_options_key(lowering if lowering is not None
+                            else LoweringOptions()),
+               _options_key(opt if opt is not None else OptOptions()))
         cached = self._lowered_cache.get(key)
         if cached is not None:
             return cached
-        program = lower(self.schedule, self.source, lowering)
-        stats = optimize(program, opt)
-        verify(program)  # cheap invariant check after every pass pipeline
+        with trace.span("lower", stream=self.name):
+            with trace.span("lower.lir"):
+                program = lower(self.schedule, self.source, lowering)
+            stats = optimize(program, opt)
+            with trace.span("verify"):
+                verify(program)  # cheap invariant check after each pipeline
         result = LoweredResult(program=program, opt_stats=stats)
         self._lowered_cache[key] = result
         return result
@@ -91,8 +114,12 @@ class CompiledStream:
     def run_fifo(self, iterations: int,
                  seed: int = XorShift32.DEFAULT_SEED) -> RunResult:
         """Run the FIFO baseline interpreter (the StreamIt stand-in)."""
-        return FifoInterpreter(self.schedule, self.source,
-                               rng_seed=seed).run(iterations)
+        with trace.span("run.fifo", stream=self.name,
+                        iterations=iterations) as span:
+            result = FifoInterpreter(self.schedule, self.source,
+                                     rng_seed=seed).run(iterations)
+            span.annotate(outputs=len(result.outputs))
+        return result
 
     def run_laminar(self, iterations: int,
                     lowering: LoweringOptions | None = None,
@@ -111,28 +138,41 @@ class CompiledStream:
                 f"iterations ({iterations}) must be a multiple of "
                 f"steady_multiplier ({multiplier})")
         lowered = self.lower(lowering, opt)
-        return LaminarInterpreter(lowered.program, rng_seed=seed).run(
-            iterations // multiplier)
+        with trace.span("run.laminar", stream=self.name,
+                        iterations=iterations) as span:
+            result = LaminarInterpreter(lowered.program, rng_seed=seed).run(
+                iterations // multiplier)
+            span.annotate(outputs=len(result.outputs))
+        return result
 
     # -- native code ---------------------------------------------------------------
 
     def fifo_c(self, options: "FifoCodegenOptions | None" = None) -> str:
         """The baseline C program (run-time FIFO queues)."""
-        return generate_fifo_c(self.schedule, self.source, options)
+        with trace.span("codegen.fifo_c", stream=self.name):
+            return generate_fifo_c(self.schedule, self.source, options)
 
     def laminar_c(self, lowering: LoweringOptions | None = None,
                   opt: OptOptions | None = None) -> str:
         """The LaminarIR C program (compile-time queues)."""
-        return generate_laminar_c(self.lower(lowering, opt).program)
+        lowered = self.lower(lowering, opt)
+        with trace.span("codegen.laminar_c", stream=self.name):
+            return generate_laminar_c(lowered.program)
 
 
 def compile_source(source: str,
                    filename: str = "<string>") -> CompiledStream:
     """Run the full frontend pipeline on ``source``."""
-    ast = parse_and_check(source, filename)
-    root = elaborate(ast)
-    graph = flatten(root)
-    schedule = build_schedule(graph)
+    with trace.span("compile", file=filename):
+        with trace.span("parse"):
+            ast = parse_and_check(source, filename)
+        with trace.span("elaborate"):
+            root = elaborate(ast)
+        with trace.span("flatten"):
+            graph = flatten(root)
+        # build_schedule opens its own "schedule" span with sub-stages.
+        schedule = build_schedule(graph)
+    obs_metrics.gauge("compile.source_bytes").set(len(source))
     return CompiledStream(source=source, ast=ast, root=root, graph=graph,
                           schedule=schedule)
 
@@ -157,9 +197,12 @@ def check_equivalence(stream: CompiledStream, iterations: int = 10,
                       lowering: LoweringOptions | None = None,
                       opt: OptOptions | None = None) -> EquivalenceReport:
     """Run both interpreters and compare their output streams exactly."""
-    fifo = stream.run_fifo(iterations)
-    laminar = stream.run_laminar(iterations, lowering, opt)
-    matches = fifo.outputs == laminar.outputs
+    with trace.span("equivalence", stream=stream.name,
+                    iterations=iterations) as span:
+        fifo = stream.run_fifo(iterations)
+        laminar = stream.run_laminar(iterations, lowering, opt)
+        matches = fifo.outputs == laminar.outputs
+        span.annotate(matches=matches)
     return EquivalenceReport(matches=matches,
                              output_count=len(fifo.outputs),
                              fifo=fifo, laminar=laminar,

@@ -12,6 +12,8 @@ import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.obs import trace
+
 DEFAULT_CFLAGS = ("-O3", "-fwrapv", "-std=gnu11")
 
 
@@ -50,9 +52,11 @@ def compile_c(code: str, workdir: Path | None = None,
     src = workdir / f"{name}.c"
     binary = workdir / name
     src.write_text(code)
-    result = subprocess.run(
-        [compiler, *cflags, str(src), "-o", str(binary), "-lm"],
-        capture_output=True, text=True)
+    with trace.span("native.compile", name=name, compiler=compiler,
+                    code_bytes=len(code)):
+        result = subprocess.run(
+            [compiler, *cflags, str(src), "-o", str(binary), "-lm"],
+            capture_output=True, text=True)
     if result.returncode != 0:
         raise NativeToolchainError(
             f"C compilation failed:\n{result.stderr[:4000]}")
@@ -63,9 +67,11 @@ def run_binary(binary: Path, iterations: int,
                print_outputs: bool = False,
                timeout: float = 300.0) -> NativeRun:
     mode = "print" if print_outputs else "time"
-    result = subprocess.run(
-        [str(binary), str(iterations), mode],
-        capture_output=True, text=True, timeout=timeout)
+    with trace.span("native.run", name=binary.name, iterations=iterations,
+                    mode=mode):
+        result = subprocess.run(
+            [str(binary), str(iterations), mode],
+            capture_output=True, text=True, timeout=timeout)
     if result.returncode != 0:
         raise NativeToolchainError(
             f"native run failed (exit {result.returncode}):\n"
@@ -104,5 +110,6 @@ def compile_and_run(code: str, iterations: int,
                     print_outputs: bool = False,
                     workdir: Path | None = None,
                     name: str = "prog") -> NativeRun:
-    binary = compile_c(code, workdir=workdir, name=name)
-    return run_binary(binary, iterations, print_outputs=print_outputs)
+    with trace.span("native", name=name):
+        binary = compile_c(code, workdir=workdir, name=name)
+        return run_binary(binary, iterations, print_outputs=print_outputs)

@@ -12,20 +12,33 @@ Commands
     Print the flat stream graph and schedule summary.
 ``report NAME``
     Evaluate one suite benchmark and print the paper's metrics for it.
+``profile TARGET``
+    Trace the whole pipeline (a ``.str`` file or suite benchmark name)
+    and print the span tree plus collected metrics; ``--json`` emits the
+    same machine-readably and ``--chrome-trace PATH`` writes a
+    ``chrome://tracing`` / Perfetto trace-event file.
 ``list``
     List the benchmark suite.
+
+``run`` and ``report`` also accept ``--trace`` to print the span tree
+to stderr after the normal output.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 from repro.api import (CompiledStream, check_equivalence, compile_file)
 from repro.evaluation import evaluate_stream, format_table
 from repro.frontend.errors import CompileError
 from repro.lir import LoweringOptions
 from repro.machine import PLATFORMS
+from repro.obs import export as obs_export
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.opt import OptOptions
 from repro.suite import BENCHMARKS, benchmark_names, load_benchmark
 
@@ -126,6 +139,54 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_target(target: str) -> CompiledStream | None:
+    """Compile a ``.str`` file path or a suite benchmark by name."""
+    path = Path(target)
+    if path.is_file():
+        return compile_file(path)
+    if target in BENCHMARKS:
+        return load_benchmark(target)
+    return None
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    was_enabled = obs_trace.is_enabled()
+    obs_trace.enable()
+    try:
+        stream = _load_target(args.target)
+        if stream is None:
+            print(f"error: {args.target!r} is neither a .str file nor a "
+                  "suite benchmark; see `python -m repro list`",
+                  file=sys.stderr)
+            return 1
+        lowering, opt = _options(args)
+        report = check_equivalence(stream, iterations=args.iterations,
+                                   lowering=lowering, opt=opt)
+        roots = obs_trace.get_trace()
+        metric_values = obs_metrics.registry().as_dict()
+        if args.chrome_trace:
+            obs_export.write_chrome_trace(roots, args.chrome_trace)
+            print(f"wrote Chrome trace-event JSON to {args.chrome_trace} "
+                  "(load in chrome://tracing or ui.perfetto.dev)",
+                  file=sys.stderr)
+        if args.json:
+            print(json.dumps(obs_export.to_json(roots, metric_values),
+                             indent=2))
+        elif not args.chrome_trace:
+            print(obs_export.format_tree(
+                roots, metric_values,
+                title=f"profile of {stream.name} "
+                      f"({args.iterations} iterations)"))
+        if not report.matches:
+            print("error: FIFO and LaminarIR outputs diverge",
+                  file=sys.stderr)
+            return 1
+        return 0
+    finally:
+        if not was_enabled:
+            obs_trace.disable()
+
+
 def cmd_list(_args: argparse.Namespace) -> int:
     rows = []
     for name in benchmark_names(include_extras=True):
@@ -153,6 +214,8 @@ def build_parser() -> argparse.ArgumentParser:
                      help="disable splitter/joiner elimination")
     run.add_argument("--no-opt", action="store_true",
                      help="disable the optimizer")
+    run.add_argument("--trace", action="store_true",
+                     help="print the pipeline span tree to stderr")
     run.set_defaults(func=cmd_run)
 
     emit = sub.add_parser("emit", help="print lowered/generated code")
@@ -173,18 +236,49 @@ def build_parser() -> argparse.ArgumentParser:
                             help="paper metrics for a suite benchmark")
     report.add_argument("name")
     report.add_argument("-n", "--iterations", type=int, default=4)
+    report.add_argument("--trace", action="store_true",
+                        help="print the pipeline span tree to stderr")
     report.set_defaults(func=cmd_report)
+
+    profile = sub.add_parser(
+        "profile",
+        help="trace the pipeline end to end and report spans + metrics")
+    profile.add_argument("target",
+                         help="a .str file or a suite benchmark name")
+    profile.add_argument("-n", "--iterations", type=int, default=4)
+    profile.add_argument("--json", action="store_true",
+                         help="emit the span tree and metrics as JSON")
+    profile.add_argument("--chrome-trace", metavar="PATH",
+                         help="write chrome://tracing trace-event JSON "
+                              "to PATH")
+    profile.add_argument("--no-elim", action="store_true")
+    profile.add_argument("--no-opt", action="store_true")
+    profile.set_defaults(func=cmd_profile)
 
     lst = sub.add_parser("list", help="list the benchmark suite")
     lst.set_defaults(func=cmd_list)
     return parser
 
 
+def _print_trace(file) -> None:
+    print(obs_export.format_tree(obs_trace.get_trace(),
+                                 obs_metrics.registry().as_dict(),
+                                 title="pipeline trace (--trace)"),
+          file=file)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    want_trace = getattr(args, "trace", False)
+    was_enabled = obs_trace.is_enabled()
+    if want_trace:
+        obs_trace.enable()
     try:
-        return args.func(args)
+        code = args.func(args)
+        if want_trace:
+            _print_trace(sys.stderr)
+        return code
     except CompileError as error:
         print(error.format(), file=sys.stderr)
         return 1
@@ -194,6 +288,9 @@ def main(argv: list[str] | None = None) -> int:
     except BrokenPipeError:
         # stdout closed early (e.g. piped into `head`); exit quietly.
         return 0
+    finally:
+        if want_trace and not was_enabled:
+            obs_trace.disable()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -16,6 +16,7 @@ from repro.interp.counters import Counters, RunResult
 from repro.lir import LoweringOptions
 from repro.machine.metrics import CommunicationReport
 from repro.machine.platforms import CostModel, PLATFORMS, estimate_spills
+from repro.obs import trace
 from repro.opt import OptOptions
 from repro.suite import load_benchmark
 
@@ -96,15 +97,17 @@ def evaluate_stream(name: str, stream: CompiledStream, iterations: int = 8,
                     lowering: LoweringOptions | None = None,
                     opt: OptOptions | None = None) -> BenchmarkEvaluation:
     """Evaluate an already-compiled stream program."""
-    fifo = stream.run_fifo(iterations)
-    laminar = stream.run_laminar(iterations, lowering, opt)
-    lowered = stream.lower(lowering, opt)
-    spills = {model.name: estimate_spills(lowered.program, model)
-              for model in PLATFORMS.values()}
-    return BenchmarkEvaluation(
-        name=name, stats=stream.stats(), comm=stream.communication(),
-        iterations=iterations, fifo=fifo, laminar=laminar,
-        outputs_match=fifo.outputs == laminar.outputs, spills=spills)
+    with trace.span("evaluate", benchmark=name, iterations=iterations):
+        fifo = stream.run_fifo(iterations)
+        laminar = stream.run_laminar(iterations, lowering, opt)
+        lowered = stream.lower(lowering, opt)
+        with trace.span("evaluate.spills"):
+            spills = {model.name: estimate_spills(lowered.program, model)
+                      for model in PLATFORMS.values()}
+        return BenchmarkEvaluation(
+            name=name, stats=stream.stats(), comm=stream.communication(),
+            iterations=iterations, fifo=fifo, laminar=laminar,
+            outputs_match=fifo.outputs == laminar.outputs, spills=spills)
 
 
 def evaluate_benchmark(name: str, iterations: int = 8,

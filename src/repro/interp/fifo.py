@@ -27,6 +27,7 @@ from repro.graph.nodes import (FilterVertex, FlatGraph, JoinerVertex,
 from repro.interp.counters import Counters, RunResult
 from repro.interp.values import (coerce_runtime, default_value,
                                  runtime_binary, runtime_unary)
+from repro.obs import metrics as obs_metrics
 from repro.scheduling.schedule import Firing, Schedule
 
 
@@ -173,6 +174,7 @@ class FifoInterpreter:
             for firing in self.schedule.steady:
                 self._fire(firing)
         steady = self.counters.delta_since(steady_start)
+        obs_metrics.publish_counters("interp.fifo.steady", steady)
         return RunResult(outputs=list(self.outputs),
                          counters=self.counters.snapshot(),
                          steady_counters=steady, iterations=iterations)

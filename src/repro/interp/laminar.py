@@ -21,6 +21,7 @@ from repro.interp.values import coerce_runtime, default_value, \
 from repro.lir.ops import (BinOp, CallOp, CastOp, Const, LoadOp, MoveOp, Op,
                            PrintOp, SelectOp, StoreOp, Temp, UnOp, Value)
 from repro.lir.program import Program
+from repro.obs import metrics as obs_metrics
 
 
 class LaminarInterpreter:
@@ -54,6 +55,7 @@ class LaminarInterpreter:
             self._run_ops(self.program.steady)
             carries = [self._value(v) for v in self.program.carry_nexts]
         steady = self.counters.delta_since(steady_start)
+        obs_metrics.publish_counters("interp.laminar.steady", steady)
         return RunResult(outputs=list(self.outputs),
                          counters=self.counters.snapshot(),
                          steady_counters=steady, iterations=iterations)

@@ -1,0 +1,36 @@
+"""Pipeline-wide observability: span tracing, a metrics registry, exporters.
+
+The three pieces work together:
+
+* :mod:`repro.obs.trace` — hierarchical spans around every pipeline
+  stage (parse → elaborate → flatten → schedule → lower → optimize →
+  codegen, plus both interpreters and the native harness);
+* :mod:`repro.obs.metrics` — named counters/gauges/histograms the
+  optimizer, scheduler and interpreters publish into;
+* :mod:`repro.obs.export` — text-tree, JSON and Chrome trace-event
+  renderings of what was collected.
+
+Everything is off by default and near-free when disabled.  Turn it on
+with ``REPRO_TRACE=1``, :func:`repro.obs.trace.enable`, the
+:func:`repro.obs.trace.tracing` context manager, or the
+``python -m repro profile`` subcommand.  See ``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs import export, metrics, trace
+from repro.obs.export import (format_tree, to_chrome_trace, to_json,
+                              write_chrome_trace)
+from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                               counter, gauge, histogram, publish_counters,
+                               registry)
+from repro.obs.trace import (Span, Tracer, current_span, disable, enable,
+                             get_trace, get_tracer, is_enabled, span,
+                             traced, tracing)
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "Span", "Tracer",
+    "counter", "current_span", "disable", "enable", "export",
+    "format_tree", "gauge", "get_trace", "get_tracer", "histogram",
+    "is_enabled", "metrics", "publish_counters", "registry", "span",
+    "to_chrome_trace", "to_json", "trace", "traced", "tracing",
+    "write_chrome_trace",
+]

@@ -1,0 +1,197 @@
+"""Named metrics the pipeline publishes into: counters, gauges, histograms.
+
+The registry is a process-global, thread-safe map from metric name to
+instrument.  Producers across the stack publish through the module-level
+helpers — the optimizer records per-pass op deltas and fixpoint round
+counts, the scheduler records repetition-vector and schedule sizes, the
+interpreters record steady-state :class:`repro.interp.counters.Counters`
+snapshots — and consumers (the ``profile`` CLI subcommand, exporters,
+benchmarks) read them back via :func:`registry`.
+
+Recording follows the same switch as :mod:`repro.obs.trace`: while
+tracing is disabled, :func:`counter` / :func:`gauge` / :func:`histogram`
+return a shared no-op instrument, so instrumentation sites stay
+near-free on hot paths.
+
+Naming convention: dot-separated, lowest-frequency prefix first —
+``opt.constant_folding.ops``, ``schedule.steady_firings``,
+``interp.laminar.steady.total_ops``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs import trace
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A last-value-wins measurement."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Running count/sum/min/max summary of observed values."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict[str, float]:
+        return {"count": self.count, "total": self.total,
+                "mean": self.mean, "min": self.min or 0.0,
+                "max": self.max or 0.0}
+
+
+class _NullInstrument:
+    """Shared do-nothing instrument returned while recording is off."""
+
+    __slots__ = ()
+    name = "<metrics disabled>"
+    value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Thread-safe name → instrument map with get-or-create semantics."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, cls):
+        metric = self._metrics.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.get(name)
+                if metric is None:
+                    metric = self._metrics[name] = cls(name)
+        if not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, requested {cls.__name__}")
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def as_dict(self) -> dict[str, object]:
+        """Snapshot of every metric, sorted by name.
+
+        Counters and gauges map to their value, histograms to their
+        summary dict — directly JSON-serializable.
+        """
+        out: dict[str, object] = {}
+        for name in self.names():
+            metric = self._metrics[name]
+            out[name] = metric.summary() if isinstance(metric, Histogram) \
+                else metric.value
+        return out
+
+    def reset(self) -> None:
+        with self._lock:
+            self._metrics = {}
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-global registry (always readable, even when disabled)."""
+    return _REGISTRY
+
+
+def counter(name: str) -> Counter | _NullInstrument:
+    if not trace.is_enabled():
+        return NULL_INSTRUMENT
+    return _REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge | _NullInstrument:
+    if not trace.is_enabled():
+        return NULL_INSTRUMENT
+    return _REGISTRY.gauge(name)
+
+
+def histogram(name: str) -> Histogram | _NullInstrument:
+    if not trace.is_enabled():
+        return NULL_INSTRUMENT
+    return _REGISTRY.histogram(name)
+
+
+def publish_counters(prefix: str, counters) -> None:
+    """Publish an interpreter ``Counters`` snapshot as gauges.
+
+    ``counters`` is anything with ``as_dict()`` (or a plain mapping);
+    derived totals (``total_ops``, ``memory_accesses``) are published
+    alongside the raw fields when available.
+    """
+    if not trace.is_enabled():
+        return
+    mapping = counters.as_dict() if hasattr(counters, "as_dict") \
+        else dict(counters)
+    for key, value in mapping.items():
+        _REGISTRY.gauge(f"{prefix}.{key}").set(value)
+    if hasattr(counters, "total_ops"):
+        _REGISTRY.gauge(f"{prefix}.total_ops").set(counters.total_ops)
+    if hasattr(counters, "memory_accesses"):
+        _REGISTRY.gauge(f"{prefix}.memory_accesses").set(
+            counters.memory_accesses)

@@ -1,0 +1,238 @@
+"""Hierarchical span tracing for the compilation/execution pipeline.
+
+A *span* is a named, timed region of work.  Spans nest: entering a span
+while another is open makes it a child, so one traced run yields a tree
+mirroring the pipeline (compile → parse/elaborate/flatten/schedule,
+lower → optimize → per-pass rounds, run.fifo / run.laminar, native
+compile+run).  Each span records wall-clock start time, monotonic
+start/duration (``time.perf_counter``), the owning thread, and free-form
+attributes.
+
+Tracing is **off by default** and designed for near-zero overhead when
+disabled: :func:`span` then returns a shared no-op singleton, so the cost
+of an instrumentation site is one global check plus a ``with`` on a
+no-op object — no allocation, no locking, no timing calls.  Enable it
+with the ``REPRO_TRACE`` environment variable (any value other than
+``0``/``false``/``off``) or programmatically via :func:`enable` /
+:func:`tracing`.
+
+The tracer is thread-safe: every thread keeps its own span stack, and
+spans opened on a thread with no enclosing span become additional roots.
+Exporters for the collected tree live in :mod:`repro.obs.export`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import functools
+import os
+import threading
+import time
+
+
+class Span:
+    """One timed region of the pipeline.  Use via ``with trace.span(...)``."""
+
+    __slots__ = ("name", "attrs", "wall_start", "start", "duration",
+                 "children", "thread_id", "_tracer")
+
+    def __init__(self, name: str, attrs: dict, tracer: "Tracer"):
+        self.name = name
+        self.attrs = attrs
+        self.wall_start = 0.0   # time.time() at __enter__
+        self.start = 0.0        # time.perf_counter() at __enter__
+        self.duration: float | None = None
+        self.children: list[Span] = []
+        self.thread_id = 0
+        self._tracer = tracer
+
+    def annotate(self, **attrs: object) -> None:
+        """Attach additional attributes to this span."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        self.thread_id = threading.get_ident()
+        self._tracer._push(self)
+        self.wall_start = time.time()
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration = time.perf_counter() - self.start
+        self._tracer._pop(self)
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        took = "open" if self.duration is None else f"{self.duration:.6f}s"
+        return f"<Span {self.name} {took} children={len(self.children)}>"
+
+
+class _NullSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+    name = "<tracing disabled>"
+    attrs: dict = {}
+    children: list = []
+    duration = 0.0
+
+    def annotate(self, **attrs: object) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects a forest of spans; thread-safe."""
+
+    def __init__(self):
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self.roots: list[Span] = []
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, /, **attrs: object) -> Span:
+        """A new span; it attaches to the tree when entered."""
+        return Span(name, attrs, self)
+
+    def _push(self, span: Span) -> None:
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            with self._lock:
+                self.roots.append(span)
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        # Defensive: tolerate out-of-order exits instead of corrupting
+        # the stack (e.g. a span closed twice).
+        while stack:
+            if stack.pop() is span:
+                break
+
+    def current(self) -> Span | None:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def reset(self) -> None:
+        with self._lock:
+            self.roots = []
+        self._local = threading.local()
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_TRACE", "").lower() not in \
+        ("", "0", "false", "off")
+
+
+_TRACER = Tracer()
+_enabled = _env_enabled()
+
+
+def is_enabled() -> bool:
+    """Whether spans and metrics are being recorded."""
+    return _enabled
+
+
+def enable(reset: bool = True) -> None:
+    """Turn tracing (and metric recording) on.
+
+    ``reset`` clears previously collected spans and metrics so the next
+    :func:`get_trace` reflects only work done after this call.
+    """
+    global _enabled
+    if reset:
+        _TRACER.reset()
+        from repro.obs import metrics as _metrics
+        _metrics.registry().reset()
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn tracing off; already-collected spans stay readable."""
+    global _enabled
+    _enabled = False
+
+
+def reset() -> None:
+    """Drop all collected spans and metrics without changing enablement."""
+    _TRACER.reset()
+    from repro.obs import metrics as _metrics
+    _metrics.registry().reset()
+
+
+def get_tracer() -> Tracer:
+    return _TRACER
+
+
+def get_trace() -> list[Span]:
+    """The collected root spans (a forest, usually a single tree)."""
+    return list(_TRACER.roots)
+
+
+def span(name: str, /, **attrs: object) -> Span | _NullSpan:
+    """Open a span: ``with trace.span("lower", stream=name) as sp: ...``
+
+    When tracing is disabled this returns a shared no-op singleton, so
+    instrumentation sites cost almost nothing.
+    """
+    if not _enabled:
+        return NULL_SPAN
+    return _TRACER.span(name, **attrs)
+
+
+def current_span() -> Span | _NullSpan:
+    """The innermost open span on this thread (no-op span if none)."""
+    if not _enabled:
+        return NULL_SPAN
+    return _TRACER.current() or NULL_SPAN
+
+
+def traced(name=None, **attrs):
+    """Decorator form: trace every call of the wrapped function.
+
+    Usable bare (``@traced``) or with a custom span name and attributes
+    (``@traced("schedule.build", kind="sdf")``).
+    """
+    if callable(name):  # bare @traced
+        return traced(None)(name)
+
+    def decorate(fn):
+        label = name or fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            if not _enabled:
+                return fn(*args, **kwargs)
+            with _TRACER.span(label, **attrs):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate
+
+
+@contextlib.contextmanager
+def tracing(reset: bool = True):
+    """Temporarily enable tracing; yields the tracer, restores on exit."""
+    previous = _enabled
+    enable(reset=reset)
+    try:
+        yield _TRACER
+    finally:
+        if not previous:
+            disable()

@@ -11,9 +11,12 @@ which the experiment drivers report alongside timings.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from repro.lir.program import Program
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace
 from repro.opt.carries import (eliminate_dead_carries,
                                specialize_constant_carries)
 from repro.opt.passes import (common_subexpression_elimination,
@@ -53,6 +56,11 @@ class OptStats:
     carries_specialized: int = 0
     ops_deduplicated: int = 0
     ops_removed_dead: int = 0
+    # Fixpoint diagnostics: number of rounds actually run, and whether a
+    # round with zero changes was reached within ``_FIXPOINT_ROUNDS``
+    # (``False`` means the pipeline gave up while still making progress).
+    fixpoint_rounds: int = 0
+    converged: bool = True
 
     @property
     def steady_reduction(self) -> float:
@@ -66,43 +74,88 @@ def _section_sizes(program: Program) -> dict[str, int]:
     return {title: len(ops) for title, ops in program.sections()}
 
 
+def _run_pass(name: str, fn, program: Program,
+              round_index: int | None = None) -> int:
+    """One pass invocation: a span plus a per-pass op-delta counter."""
+    attrs = {} if round_index is None else {"round": round_index}
+    with trace.span(f"opt.{name}", **attrs) as span:
+        delta = fn(program)
+        span.annotate(ops=delta)
+    obs_metrics.counter(f"opt.{name}.ops").inc(delta)
+    return delta
+
+
 def optimize(program: Program,
              options: OptOptions | None = None) -> OptStats:
     """Optimize ``program`` in place and return pass statistics."""
     options = options or OptOptions()
-    stats = OptStats(ops_before=_section_sizes(program))
+    with trace.span("optimize", program=program.name) as span:
+        stats = OptStats(ops_before=_section_sizes(program))
 
-    if options.copy_propagation:
-        stats.moves_propagated += copy_propagation(program)
-    if options.promote_state:
-        stats.slots_promoted += promote_state(program, options.promote)
+        if options.copy_propagation:
+            stats.moves_propagated += _run_pass(
+                "copy_propagation", copy_propagation, program)
+        if options.promote_state:
+            with trace.span("opt.promote_state") as promote_span:
+                promoted = promote_state(program, options.promote)
+                promote_span.annotate(slots=promoted)
+            stats.slots_promoted += promoted
+            obs_metrics.counter("opt.promote_state.slots").inc(promoted)
 
-    for _round in range(_FIXPOINT_ROUNDS):
-        changed = 0
-        if options.constant_folding:
-            folded = constant_folding(program)
-            stats.ops_folded += folded
-            changed += folded
-        if options.carry_specialization:
-            specialized = specialize_constant_carries(program)
-            stats.carries_specialized += specialized
-            changed += specialized
-            dead = eliminate_dead_carries(program)
-            stats.carries_specialized += dead
-            changed += dead
-        if options.cse:
-            deduped = common_subexpression_elimination(program)
-            stats.ops_deduplicated += deduped
-            changed += deduped
-        if options.dce:
-            removed = dead_code_elimination(program)
-            stats.ops_removed_dead += removed
-            changed += removed
-        if changed == 0:
-            break
+        converged = False
+        for round_index in range(_FIXPOINT_ROUNDS):
+            stats.fixpoint_rounds = round_index + 1
+            changed = 0
+            if options.constant_folding:
+                folded = _run_pass("constant_folding", constant_folding,
+                                   program, round_index)
+                stats.ops_folded += folded
+                changed += folded
+            if options.carry_specialization:
+                specialized = _run_pass("specialize_constant_carries",
+                                        specialize_constant_carries,
+                                        program, round_index)
+                stats.carries_specialized += specialized
+                changed += specialized
+                dead = _run_pass("eliminate_dead_carries",
+                                 eliminate_dead_carries, program,
+                                 round_index)
+                stats.carries_specialized += dead
+                changed += dead
+            if options.cse:
+                deduped = _run_pass("common_subexpression_elimination",
+                                    common_subexpression_elimination,
+                                    program, round_index)
+                stats.ops_deduplicated += deduped
+                changed += deduped
+            if options.dce:
+                removed = _run_pass("dead_code_elimination",
+                                    dead_code_elimination, program,
+                                    round_index)
+                stats.ops_removed_dead += removed
+                changed += removed
+            if changed == 0:
+                converged = True
+                break
+        stats.converged = converged
+        obs_metrics.gauge("opt.fixpoint_rounds").set(stats.fixpoint_rounds)
+        if not converged:
+            obs_metrics.counter("opt.nonconvergent").inc()
+            warnings.warn(
+                f"optimizer did not reach a fixpoint on {program.name!r} "
+                f"within {_FIXPOINT_ROUNDS} rounds; results are valid but "
+                "possibly under-optimized", RuntimeWarning, stacklevel=2)
 
-    if options.schedule_pressure:
-        schedule_for_pressure(program)
+        if options.schedule_pressure:
+            with trace.span("opt.schedule_for_pressure"):
+                schedule_for_pressure(program)
 
-    stats.ops_after = _section_sizes(program)
+        stats.ops_after = _section_sizes(program)
+        span.annotate(rounds=stats.fixpoint_rounds, converged=converged,
+                      steady_before=stats.ops_before.get("steady", 0),
+                      steady_after=stats.ops_after.get("steady", 0))
+        obs_metrics.gauge("opt.steady_ops_before").set(
+            stats.ops_before.get("steady", 0))
+        obs_metrics.gauge("opt.steady_ops_after").set(
+            stats.ops_after.get("steady", 0))
     return stats

@@ -18,6 +18,8 @@ from dataclasses import dataclass, field
 
 from repro.frontend.errors import ScheduleError
 from repro.graph.nodes import (Channel, FilterVertex, FlatGraph, Vertex)
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace
 from repro.scheduling.balance import repetition_vector
 
 _FIXPOINT_LIMIT = 1000
@@ -213,22 +215,35 @@ def _sequence(sim: _Simulator, order: list[Vertex],
 
 def build_schedule(graph: FlatGraph) -> Schedule:
     """Compute the init and steady schedules of ``graph``."""
-    reps = repetition_vector(graph)
-    order = graph.topological_order()
-    sim = _Simulator(graph)
+    with trace.span("schedule", graph=graph.name) as span:
+        with trace.span("schedule.repetition_vector"):
+            reps = repetition_vector(graph)
+        order = graph.topological_order()
+        sim = _Simulator(graph)
 
-    init_counts = _init_counts(graph, order)
-    init = _sequence(sim, order, dict(init_counts), "init")
-    post_init = dict(sim.tokens)
+        with trace.span("schedule.init"):
+            init_counts = _init_counts(graph, order)
+            init = _sequence(sim, order, dict(init_counts), "init")
+        post_init = dict(sim.tokens)
 
-    steady = _sequence(sim, order, dict(reps), "steady")
-    if sim.tokens != post_init:
-        raise ScheduleError(
-            "steady iteration did not restore channel occupancy: "
-            f"{post_init} -> {sim.tokens}")
+        with trace.span("schedule.steady"):
+            steady = _sequence(sim, order, dict(reps), "steady")
+            if sim.tokens != post_init:
+                raise ScheduleError(
+                    "steady iteration did not restore channel occupancy: "
+                    f"{post_init} -> {sim.tokens}")
 
-    # One more iteration to capture peak occupancy in the periodic regime.
-    _sequence(sim, order, dict(reps), "steady")
+            # One more iteration to capture peak occupancy in the
+            # periodic regime.
+            _sequence(sim, order, dict(reps), "steady")
+        span.annotate(init_firings=len(init), steady_firings=len(steady))
 
+    obs_metrics.gauge("schedule.init_firings").set(len(init))
+    obs_metrics.gauge("schedule.steady_firings").set(len(steady))
+    obs_metrics.gauge("schedule.reps_total").set(sum(reps.values()))
+    obs_metrics.gauge("schedule.vertices").set(len(graph.vertices))
+    obs_metrics.gauge("schedule.channels").set(len(graph.channels))
+    obs_metrics.gauge("schedule.buffer_bound_total").set(
+        sum(sim.peak.values()))
     return Schedule(graph=graph, reps=reps, init=init, steady=steady,
                     post_init_tokens=post_init, buffer_bounds=dict(sim.peak))

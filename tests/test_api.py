@@ -30,6 +30,43 @@ class TestCompiledStream:
             LoweringOptions(eliminate_splitjoin=False))
         assert default is not ablated
 
+    def test_lower_cache_keys_on_field_values(self, demo_stream):
+        # Equal-valued but distinct option instances share one entry...
+        first = demo_stream.lower(LoweringOptions(), OptOptions())
+        second = demo_stream.lower(LoweringOptions(), OptOptions())
+        assert first is second
+        # ...and None means "defaults", hitting the same entry.
+        assert demo_stream.lower() is first
+
+    def test_lower_cache_distinguishes_nested_promote_options(
+            self, demo_stream):
+        from repro.opt import PromoteOptions
+        default = demo_stream.lower()
+        tweaked = demo_stream.lower(None, OptOptions(
+            promote=PromoteOptions(max_array_elements=0)))
+        assert tweaked is not default
+        assert tweaked.opt_stats.slots_promoted <= \
+            default.opt_stats.slots_promoted
+
+    def test_lower_cache_survives_repr_collisions(self, demo_stream):
+        # A nested options object whose repr hides its fields must not
+        # alias distinct configurations (the old repr()-based key did).
+        import dataclasses
+
+        from repro.opt import PromoteOptions
+
+        @dataclasses.dataclass(repr=False)
+        class StealthPromote(PromoteOptions):
+            def __repr__(self):
+                return "PromoteOptions()"
+
+        small = StealthPromote(max_array_elements=0)
+        large = StealthPromote(max_array_elements=4096)
+        assert repr(small) == repr(large)
+        lowered_small = demo_stream.lower(None, OptOptions(promote=small))
+        lowered_large = demo_stream.lower(None, OptOptions(promote=large))
+        assert lowered_small is not lowered_large
+
     def test_compile_file(self, tmp_path):
         path = tmp_path / "p.str"
         path.write_text(

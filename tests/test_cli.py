@@ -1,7 +1,10 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
+import repro.cli
 from repro.cli import main
 from tests.conftest import TINY_PROGRAM
 
@@ -37,6 +40,28 @@ class TestRun:
         path.write_text("void->void pipeline P { }")
         assert main(["run", str(path)]) == 1
         assert "error" in capsys.readouterr().err
+
+    def test_run_divergence_returns_1(self, tiny_file, monkeypatch,
+                                      capsys):
+        real = repro.cli.check_equivalence
+
+        def diverging(*args, **kwargs):
+            report = real(*args, **kwargs)
+            report.matches = False
+            return report
+
+        monkeypatch.setattr(repro.cli, "check_equivalence", diverging)
+        assert main(["run", tiny_file, "-n", "2", "--quiet"]) == 1
+        assert "diverge" in capsys.readouterr().err
+
+    def test_run_trace_flag(self, tiny_file, capsys):
+        assert main(["run", tiny_file, "-n", "2", "--quiet",
+                     "--trace"]) == 0
+        err = capsys.readouterr().err
+        assert "pipeline trace" in err
+        assert "compile" in err
+        assert "optimize" in err
+        assert "metrics:" in err
 
 
 class TestEmit:
@@ -88,3 +113,83 @@ class TestSuiteCommands:
     def test_report_unknown(self, capsys):
         assert main(["report", "nope"]) == 1
         assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_report_trace_flag(self, capsys):
+        assert main(["report", "lattice", "-n", "2", "--trace"]) == 0
+        captured = capsys.readouterr()
+        assert "outputs match: True" in captured.out
+        assert "pipeline trace" in captured.err
+
+
+PIPELINE_STAGES = ("compile", "parse", "elaborate", "flatten", "schedule",
+                   "lower", "optimize", "run.fifo", "run.laminar")
+
+
+class TestProfile:
+    def test_profile_text_covers_every_stage(self, tiny_file, capsys):
+        assert main(["profile", tiny_file, "-n", "2"]) == 0
+        out = capsys.readouterr().out
+        for stage in PIPELINE_STAGES:
+            assert stage in out, f"missing stage {stage}"
+        # per-pass optimizer metrics surface in the metric section
+        assert "opt.dead_code_elimination.ops" in out
+        assert "opt.fixpoint_rounds" in out
+        assert "metrics:" in out
+
+    def test_profile_suite_benchmark_by_name(self, capsys):
+        assert main(["profile", "lattice", "-n", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "profile of Lattice" in out
+
+    def test_profile_json_parses(self, tiny_file, capsys):
+        assert main(["profile", tiny_file, "-n", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        top_names = [span["name"] for span in payload["spans"]]
+        assert "compile" in top_names
+        assert payload["metrics"]["schedule.steady_firings"] >= 1
+        assert "interp.laminar.steady.total_ops" in payload["metrics"]
+
+    def test_profile_chrome_trace_structurally_valid(self, tiny_file,
+                                                     tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        assert main(["profile", tiny_file, "-n", "2",
+                     "--chrome-trace", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        events = payload["traceEvents"]
+        assert events
+        names = {event["name"] for event in events}
+        assert "compile" in names and "optimize" in names
+        for event in events:
+            assert event["ph"] in ("X", "M")
+            if event["ph"] == "X":
+                assert event["ts"] >= 0 and event["dur"] >= 0
+
+    def test_profile_unknown_target(self, capsys):
+        assert main(["profile", "no_such_thing"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_profile_compile_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.str"
+        path.write_text("void->void pipeline P { }")
+        assert main(["profile", str(path)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_profile_divergence_returns_1(self, tiny_file, monkeypatch,
+                                          capsys):
+        real = repro.cli.check_equivalence
+
+        def diverging(*args, **kwargs):
+            report = real(*args, **kwargs)
+            report.matches = False
+            return report
+
+        monkeypatch.setattr(repro.cli, "check_equivalence", diverging)
+        assert main(["profile", tiny_file, "-n", "2"]) == 1
+        assert "diverge" in capsys.readouterr().err
+
+    def test_profile_leaves_tracing_disabled(self, tiny_file, capsys):
+        from repro.obs import trace
+        was = trace.is_enabled()
+        assert main(["profile", tiny_file, "-n", "2"]) == 0
+        capsys.readouterr()
+        assert trace.is_enabled() == was

@@ -1,0 +1,313 @@
+"""Tests for the observability subsystem (repro.obs)."""
+
+import json
+import threading
+
+import pytest
+
+from repro import compile_source
+from repro.obs import export, metrics, trace
+from tests.conftest import TINY_PROGRAM
+
+
+@pytest.fixture(autouse=True)
+def clean_tracer():
+    trace.disable()
+    trace.reset()
+    yield
+    trace.disable()
+    trace.reset()
+
+
+class TestTracerDisabled:
+    def test_span_returns_shared_null_singleton(self):
+        assert trace.span("a") is trace.span("b")
+
+    def test_null_span_is_inert(self):
+        with trace.span("a") as span:
+            span.annotate(x=1)
+        assert span.attrs == {}
+        assert trace.get_trace() == []
+
+    def test_current_span_is_null(self):
+        assert trace.current_span() is trace.span("whatever")
+
+
+class TestTracerEnabled:
+    def test_nesting_builds_a_tree(self):
+        trace.enable()
+        with trace.span("compile", file="x.str"):
+            with trace.span("parse"):
+                pass
+            with trace.span("flatten"):
+                pass
+        roots = trace.get_trace()
+        assert [root.name for root in roots] == ["compile"]
+        assert [child.name for child in roots[0].children] == \
+            ["parse", "flatten"]
+        assert roots[0].attrs == {"file": "x.str"}
+
+    def test_durations_recorded(self):
+        trace.enable()
+        with trace.span("outer"):
+            with trace.span("inner"):
+                pass
+        outer = trace.get_trace()[0]
+        assert outer.duration is not None and outer.duration >= 0.0
+        assert outer.children[0].duration is not None
+        assert outer.duration >= outer.children[0].duration
+
+    def test_annotate(self):
+        trace.enable()
+        with trace.span("s", a=1) as span:
+            span.annotate(b=2)
+        assert trace.get_trace()[0].attrs == {"a": 1, "b": 2}
+
+    def test_exception_still_closes_span(self):
+        trace.enable()
+        with pytest.raises(ValueError):
+            with trace.span("boom"):
+                raise ValueError("x")
+        span = trace.get_trace()[0]
+        assert span.duration is not None
+
+    def test_current_span(self):
+        trace.enable()
+        with trace.span("outer"):
+            with trace.span("inner"):
+                assert trace.current_span().name == "inner"
+            assert trace.current_span().name == "outer"
+
+    def test_enable_reset_clears_previous_trace(self):
+        trace.enable()
+        with trace.span("old"):
+            pass
+        trace.enable(reset=True)
+        assert trace.get_trace() == []
+
+    def test_traced_decorator(self):
+        trace.enable()
+
+        @trace.traced("labelled", kind="test")
+        def work():
+            return 42
+
+        @trace.traced
+        def bare():
+            return 7
+
+        assert work() == 42
+        assert bare() == 7
+        names = [span.name for span in trace.get_trace()]
+        assert "labelled" in names
+        assert any("bare" in name for name in names)
+
+    def test_traced_decorator_noop_when_disabled(self):
+        @trace.traced
+        def work():
+            return 1
+
+        assert work() == 1
+        assert trace.get_trace() == []
+
+    def test_tracing_context_restores_disabled_state(self):
+        assert not trace.is_enabled()
+        with trace.tracing():
+            assert trace.is_enabled()
+            with trace.span("inside"):
+                pass
+        assert not trace.is_enabled()
+        # Spans collected under tracing() stay readable afterwards.
+        assert [span.name for span in trace.get_trace()] == ["inside"]
+
+    def test_threads_get_their_own_roots(self):
+        trace.enable()
+
+        def worker(index):
+            with trace.span(f"thread-span-{index}"):
+                with trace.span("child"):
+                    pass
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(4)]
+        with trace.span("main-span"):
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        names = {span.name for span in trace.get_trace()}
+        assert "main-span" in names
+        assert {f"thread-span-{i}" for i in range(4)} <= names
+        for root in trace.get_trace():
+            if root.name.startswith("thread-span-"):
+                assert [c.name for c in root.children] == ["child"]
+
+
+class TestMetrics:
+    def test_counter_gauge_histogram(self):
+        registry = metrics.MetricsRegistry()
+        registry.counter("c").inc()
+        registry.counter("c").inc(4)
+        registry.gauge("g").set(2.5)
+        registry.histogram("h").observe(1.0)
+        registry.histogram("h").observe(3.0)
+        snapshot = registry.as_dict()
+        assert snapshot["c"] == 5
+        assert snapshot["g"] == 2.5
+        assert snapshot["h"]["count"] == 2
+        assert snapshot["h"]["mean"] == 2.0
+        assert snapshot["h"]["min"] == 1.0
+        assert snapshot["h"]["max"] == 3.0
+
+    def test_as_dict_is_sorted(self):
+        registry = metrics.MetricsRegistry()
+        registry.counter("z").inc()
+        registry.counter("a").inc()
+        assert list(registry.as_dict()) == ["a", "z"]
+
+    def test_type_conflict_raises(self):
+        registry = metrics.MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_disabled_returns_shared_null_instrument(self):
+        assert metrics.counter("a") is metrics.gauge("b")
+        metrics.counter("a").inc()
+        metrics.gauge("b").set(1)
+        assert metrics.registry().as_dict() == {}
+
+    def test_enabled_records_into_global_registry(self):
+        trace.enable()
+        metrics.counter("hits").inc(3)
+        assert metrics.registry().as_dict()["hits"] == 3
+
+    def test_publish_counters(self):
+        trace.enable()
+        from repro.interp.counters import Counters
+        counters = Counters(loads=2, stores=3, alu=1)
+        metrics.publish_counters("test.prefix", counters)
+        snapshot = metrics.registry().as_dict()
+        assert snapshot["test.prefix.loads"] == 2
+        assert snapshot["test.prefix.memory_accesses"] == 5
+        assert snapshot["test.prefix.total_ops"] == 6
+
+
+def _traced_pipeline():
+    """Compile + run the tiny program with tracing on; returns roots."""
+    with trace.tracing():
+        stream = compile_source(TINY_PROGRAM, "tiny.str")
+        stream.run_fifo(2)
+        stream.run_laminar(2)
+        roots = trace.get_trace()
+        snapshot = metrics.registry().as_dict()
+    return roots, snapshot
+
+
+def _names(roots):
+    out = []
+
+    def walk(span):
+        out.append(span.name)
+        for child in span.children:
+            walk(child)
+
+    for root in roots:
+        walk(root)
+    return out
+
+
+class TestPipelineIntegration:
+    def test_spans_cover_every_stage(self):
+        roots, _ = _traced_pipeline()
+        names = _names(roots)
+        for stage in ("compile", "parse", "elaborate", "flatten",
+                      "schedule", "schedule.repetition_vector", "lower",
+                      "lower.lir", "optimize", "verify", "run.fifo",
+                      "run.laminar"):
+            assert stage in names, f"missing span {stage}"
+
+    def test_per_pass_optimizer_spans_and_metrics(self):
+        roots, snapshot = _traced_pipeline()
+        names = _names(roots)
+        assert "opt.dead_code_elimination" in names
+        assert "opt.constant_folding" in names
+        assert "opt.dead_code_elimination.ops" in snapshot
+        assert snapshot["opt.fixpoint_rounds"] >= 1
+
+    def test_scheduler_and_interp_metrics_published(self):
+        _, snapshot = _traced_pipeline()
+        assert snapshot["schedule.steady_firings"] >= 1
+        assert snapshot["interp.fifo.steady.total_ops"] > 0
+        assert snapshot["interp.laminar.steady.total_ops"] > 0
+        # The paper's headline effect, straight from the registry:
+        assert snapshot["interp.laminar.steady.memory_accesses"] <= \
+            snapshot["interp.fifo.steady.memory_accesses"]
+
+
+class TestExporters:
+    def test_format_tree_contains_spans_and_metrics(self):
+        roots, snapshot = _traced_pipeline()
+        text = export.format_tree(roots, snapshot, title="test run")
+        assert "test run" in text
+        assert "compile" in text
+        assert "optimize" in text
+        assert "metrics:" in text
+        assert "schedule.steady_firings" in text
+
+    def test_format_tree_empty(self):
+        assert "no spans" in export.format_tree([])
+
+    def test_to_json_round_trips(self):
+        roots, snapshot = _traced_pipeline()
+        payload = export.to_json(roots, snapshot)
+        text = json.dumps(payload)
+        parsed = json.loads(text)
+        assert parsed["spans"]
+        top_names = [span["name"] for span in parsed["spans"]]
+        assert "compile" in top_names
+        compile_span = parsed["spans"][top_names.index("compile")]
+        assert compile_span["duration_s"] >= 0.0
+        children = [c["name"] for c in compile_span["children"]]
+        assert "parse" in children
+        assert parsed["metrics"]["schedule.steady_firings"] >= 1
+
+    def test_chrome_trace_is_structurally_valid(self):
+        roots, _ = _traced_pipeline()
+        payload = export.to_chrome_trace(roots)
+        # Round-trips through JSON without error.
+        parsed = json.loads(json.dumps(payload))
+        events = parsed["traceEvents"]
+        assert events
+        assert parsed["displayTimeUnit"] == "ms"
+        complete = [e for e in events if e["ph"] == "X"]
+        assert complete
+        for event in events:
+            assert event["ph"] in ("X", "M")
+            assert isinstance(event["name"], str) and event["name"]
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+            if event["ph"] == "X":
+                assert event["cat"] == "repro"
+                assert isinstance(event["ts"], (int, float))
+                assert isinstance(event["dur"], (int, float))
+                assert event["ts"] >= 0.0
+                assert event["dur"] >= 0.0
+                assert isinstance(event["args"], dict)
+        # Timestamps are normalized: something starts at (about) zero.
+        assert min(e["ts"] for e in complete) < 1.0
+
+    def test_chrome_trace_child_nested_within_parent(self):
+        roots, _ = _traced_pipeline()
+        events = export.to_chrome_trace(roots)["traceEvents"]
+        by_name = {e["name"]: e for e in events if e["ph"] == "X"}
+        parent, child = by_name["compile"], by_name["parse"]
+        assert parent["ts"] <= child["ts"]
+        assert child["ts"] + child["dur"] <= \
+            parent["ts"] + parent["dur"] + 1.0  # float slack in us
+
+    def test_write_chrome_trace(self, tmp_path):
+        roots, _ = _traced_pipeline()
+        path = export.write_chrome_trace(roots, tmp_path / "trace.json")
+        parsed = json.loads(path.read_text())
+        assert parsed["traceEvents"]

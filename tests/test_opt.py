@@ -366,6 +366,38 @@ class TestPipelineIntegration:
         assert second.ops_folded == 0
         assert second.ops_removed_dead == 0
 
+    def test_fixpoint_converges(self, demo_stream):
+        stats = demo_stream.lower().opt_stats
+        assert stats.converged
+        assert 1 <= stats.fixpoint_rounds <= 64
+
+    def test_fixpoint_converges_on_suite_benchmarks(self):
+        from repro.suite import load_benchmark
+        for name in ("lattice", "autocor"):
+            stats = load_benchmark(name).lower().opt_stats
+            assert stats.converged, name
+            assert stats.fixpoint_rounds >= 1
+
+    def test_disabled_pipeline_converges_in_one_round(self):
+        stream = compile_source(
+            PREAMBLE + "void->void pipeline P { add Src(); add Snk(); }")
+        stats = stream.lower(opt=OptOptions.none()).opt_stats
+        assert stats.converged
+        assert stats.fixpoint_rounds == 1
+
+    def test_nonconvergence_warns_and_flags(self, demo_stream,
+                                            monkeypatch):
+        import repro.opt.pipeline as pipeline_mod
+        # Cap the loop at one round so a program that still has work to
+        # do after round 1 exercises the give-up path.
+        monkeypatch.setattr(pipeline_mod, "_FIXPOINT_ROUNDS", 1)
+        from repro.lir import lower
+        program = lower(demo_stream.schedule, demo_stream.source)
+        with pytest.warns(RuntimeWarning, match="did not reach a fixpoint"):
+            stats = optimize(program)
+        assert not stats.converged
+        assert stats.fixpoint_rounds == 1
+
 
 class TestPressureScheduling:
     def test_outputs_preserved(self, demo_stream):
