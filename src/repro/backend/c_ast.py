@@ -208,6 +208,10 @@ class CAstPrinter:
             return f"({expr.op}{self.expr(expr.operand)})"
         if isinstance(expr, ast.BinaryOp):
             assert expr.left is not None and expr.right is not None
+            if expr.op in ("/", "%") and (expr.ty or FLOAT) == INT:
+                fn = "repro_div_i32" if expr.op == "/" else "repro_mod_i32"
+                return (f"{fn}({self.expr(expr.left)}, "
+                        f"{self.expr(expr.right)})")
             return (f"({self.expr(expr.left)} {expr.op} "
                     f"{self.expr(expr.right)})")
         if isinstance(expr, ast.TernaryOp):

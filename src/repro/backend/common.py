@@ -45,8 +45,30 @@ static inline f64 repro_randf(void) {
     return (f64)(repro_rng_next() >> 8) / 16777216.0;
 }
 
+static inline void repro_runtime_error(const char *message) {
+    fprintf(stderr, "runtime error: %s\n", message);
+    exit(4);
+}
+
 static inline i32 repro_randi(i32 bound) {
+    if (bound == 0) repro_runtime_error("randi bound must be non-zero");
     return (i32)(repro_rng_next() % (uint32_t)bound);
+}
+
+/* Truncating i32 division/modulo with the interpreters' wrap-around
+   semantics: INT_MIN / -1 wraps instead of trapping (the `idiv`
+   overflow that -fwrapv does NOT paper over), and dividing by zero is
+   a defined runtime error rather than a SIGFPE. */
+static inline i32 repro_div_i32(i32 a, i32 b) {
+    if (b == 0) repro_runtime_error("division by zero in '/'");
+    if (b == -1) return (i32)(0u - (uint32_t)a);
+    return a / b;
+}
+
+static inline i32 repro_mod_i32(i32 a, i32 b) {
+    if (b == 0) repro_runtime_error("division by zero in '%'");
+    if (b == -1) return 0;
+    return a % b;
 }
 
 static inline f64 repro_round(f64 x) { return floor(x + 0.5); }

@@ -126,7 +126,11 @@ class LaminarCBackend:
     def _op(self, op: Op) -> str:
         if isinstance(op, BinOp):
             assert op.result is not None
-            rhs = f"{self._value(op.lhs)} {op.op} {self._value(op.rhs)}"
+            if op.op in ("/", "%") and op.result.ty == INT:
+                fn = "repro_div_i32" if op.op == "/" else "repro_mod_i32"
+                rhs = f"{fn}({self._value(op.lhs)}, {self._value(op.rhs)})"
+            else:
+                rhs = f"{self._value(op.lhs)} {op.op} {self._value(op.rhs)}"
             return self._define(op.result, rhs)
         if isinstance(op, UnOp):
             assert op.result is not None

@@ -101,6 +101,10 @@ def run_binary(binary: Path, iterations: int,
 
 
 def _is_int(text: str) -> bool:
+    if text == "-0":
+        # %d never prints "-0"; this is %.17g rendering a negative zero,
+        # and parsing it as int 0 would lose the sign bit.
+        return False
     if text.startswith("-"):
         text = text[1:]
     return text.isdigit()

@@ -17,6 +17,11 @@ Commands
     and print the span tree plus collected metrics; ``--json`` emits the
     same machine-readably and ``--chrome-trace PATH`` writes a
     ``chrome://tracing`` / Perfetto trace-event file.
+``fuzz --seed N --runs K``
+    Differential fuzzing: generate random programs and check that every
+    execution route agrees (see ``docs/FUZZING.md``).  ``--native`` adds
+    both C backends, ``--shrink`` minimizes diverging programs, and
+    ``--corpus-dir`` checks reproducers in as regression tests.
 ``list``
     List the benchmark suite.
 
@@ -52,11 +57,27 @@ def _options(args: argparse.Namespace) -> tuple[LoweringOptions,
     return lowering, opt
 
 
+def _notice_nonconvergence(stream: CompiledStream,
+                           lowering: LoweringOptions | None = None,
+                           opt: OptOptions | None = None) -> None:
+    """One-line stderr notice when the optimizer gave up before a fixpoint.
+
+    ``opt.pipeline`` already warns and bumps ``opt.nonconvergent``, but
+    warnings are easy to miss in CLI output — surface it explicitly.
+    """
+    stats = stream.lower(lowering, opt).opt_stats
+    if not stats.converged:
+        print(f"notice: optimizer did not reach a fixpoint on "
+              f"{stream.name!r} ({stats.fixpoint_rounds} rounds); output "
+              "is correct but possibly under-optimized", file=sys.stderr)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     stream = compile_file(args.file)
     lowering, opt = _options(args)
     report = check_equivalence(stream, iterations=args.iterations,
                                lowering=lowering, opt=opt)
+    _notice_nonconvergence(stream, lowering, opt)
     if not report.matches:
         print("error: FIFO and LaminarIR outputs diverge", file=sys.stderr)
         return 1
@@ -123,6 +144,7 @@ def cmd_report(args: argparse.Namespace) -> int:
     stream = load_benchmark(args.name)
     record = evaluate_stream(args.name, stream,
                              iterations=args.iterations)
+    _notice_nonconvergence(stream)
     print(f"benchmark: {args.name} — {BENCHMARKS[args.name].description}")
     print(f"outputs match: {record.outputs_match}")
     print(f"data communication: -{record.comm.reduction * 100:.1f}%")
@@ -185,6 +207,25 @@ def cmd_profile(args: argparse.Namespace) -> int:
     finally:
         if not was_enabled:
             obs_trace.disable()
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz import fuzz_campaign
+
+    corpus = Path(args.corpus_dir) if args.corpus_dir else None
+    result = fuzz_campaign(
+        seed=args.seed, runs=args.runs, iterations=args.iterations,
+        native=args.native, shrink=args.shrink, corpus_dir=corpus,
+        log=lambda message: print(message, file=sys.stderr))
+    for finding in result.findings:
+        print(f"seed {finding.seed}: {finding.divergence}")
+        if finding.shrunk_source is not None:
+            print(finding.shrunk_source)
+    print(f"# fuzz: {result.programs} programs from seed {args.seed}, "
+          f"{result.skipped} skipped, {len(result.findings)} "
+          f"divergence(s), {len(result.features)} generator features "
+          "covered", file=sys.stderr)
+    return 1 if result.findings else 0
 
 
 def cmd_list(_args: argparse.Namespace) -> int:
@@ -254,6 +295,25 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--no-elim", action="store_true")
     profile.add_argument("--no-opt", action="store_true")
     profile.set_defaults(func=cmd_profile)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing across every execution route")
+    fuzz.add_argument("--seed", default="0",
+                      help="master seed; run i derives seed '<seed>:<i>'")
+    fuzz.add_argument("-k", "--runs", type=int, default=100,
+                      help="number of random programs to generate")
+    fuzz.add_argument("-n", "--iterations", type=int, default=4)
+    fuzz.add_argument("--native", action="store_true",
+                      help="also run both C backends (needs a compiler)")
+    fuzz.add_argument("--shrink", action="store_true",
+                      help="delta-minimize every diverging program")
+    fuzz.add_argument("--corpus-dir", metavar="DIR",
+                      help="write shrunk reproducers into DIR "
+                           "(e.g. tests/fuzz_corpus)")
+    fuzz.add_argument("--trace", action="store_true",
+                      help="print the pipeline span tree to stderr")
+    fuzz.set_defaults(func=cmd_fuzz)
 
     lst = sub.add_parser("list", help="list the benchmark suite")
     lst.set_defaults(func=cmd_list)

@@ -120,9 +120,13 @@ class XorShift32:
         return (self.next_u32() >> 8) / float(1 << 24)
 
     def randi(self, bound: int) -> int:
-        if bound <= 0:
-            raise ValueError("randi bound must be positive")
-        return self.next_u32() % bound
+        # Mirrors the C runtime exactly: the bound is taken through
+        # ``(uint32_t)bound``, so negative bounds reduce modulo their
+        # 32-bit bit pattern and the result is reinterpreted as i32.
+        if bound == 0:
+            raise ValueError("randi bound must be non-zero")
+        value = self.next_u32() % (bound & 0xFFFFFFFF)
+        return value - 0x100000000 if value >= 0x80000000 else value
 
 
 # Boolean-typed helpers used by the type checker.

@@ -1,0 +1,31 @@
+"""Differential fuzzing for the LaminarIR pipeline.
+
+The package closes the loop the whole reproduction rests on: the
+LaminarIR route must be observationally equivalent to the FIFO baseline
+on *every* program, not just the hand-written suite.
+
+* :mod:`repro.fuzz.generator` — seeded random well-typed StreamIt
+  programs (pipelines, splitjoins with weight-0 round-robin ports,
+  feedbackloops, peeking and prework filters, int/float/array state,
+  the ``rand`` intrinsics).
+* :mod:`repro.fuzz.oracle` — runs one program through every execution
+  route and diffs outputs token-by-token plus counter invariants.
+* :mod:`repro.fuzz.shrink` — delta-debugging minimizer for diverging
+  programs.
+* :mod:`repro.fuzz.driver` — the campaign loop behind
+  ``python -m repro fuzz``.
+
+See ``docs/FUZZING.md`` for the workflow.
+"""
+
+from repro.fuzz.driver import CampaignResult, FuzzFinding, fuzz_campaign
+from repro.fuzz.generator import (GeneratorOptions, ProgramSpec,
+                                  generate_program, random_spec, render)
+from repro.fuzz.oracle import Divergence, OracleReport, run_source
+from repro.fuzz.shrink import shrink_spec
+
+__all__ = [
+    "CampaignResult", "Divergence", "FuzzFinding", "GeneratorOptions",
+    "OracleReport", "ProgramSpec", "fuzz_campaign", "generate_program",
+    "random_spec", "render", "run_source", "shrink_spec",
+]

@@ -1,0 +1,123 @@
+"""The fuzzing campaign loop behind ``python -m repro fuzz``.
+
+A campaign draws ``runs`` programs from a master seed (run *i* uses the
+derived seed ``"{seed}:{i}"``), pushes each one through the
+differential oracle, optionally delta-shrinks every diverging program,
+and writes shrunk reproducers into a corpus directory so they become
+permanent regression tests (see ``tests/test_fuzz_corpus.py``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.fuzz.generator import (GeneratorOptions, ProgramSpec,
+                                  random_spec, render)
+from repro.fuzz.oracle import Divergence, run_source
+from repro.fuzz.shrink import shrink_spec
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace
+
+__all__ = ["CampaignResult", "FuzzFinding", "fuzz_campaign",
+           "write_reproducer"]
+
+
+@dataclass
+class FuzzFinding:
+    """One diverging program, with its shrunk reproducer if requested."""
+
+    seed: str
+    divergence: Divergence
+    source: str
+    shrunk_source: str | None = None
+    reproducer: Path | None = None
+
+
+@dataclass
+class CampaignResult:
+    master_seed: int | str
+    programs: int = 0
+    skipped: int = 0
+    findings: list[FuzzFinding] = field(default_factory=list)
+    features: set[str] = field(default_factory=set)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def write_reproducer(finding: FuzzFinding, corpus_dir: Path) -> Path:
+    """Check a shrunk reproducer into the corpus directory."""
+    corpus_dir.mkdir(parents=True, exist_ok=True)
+    slug = re.sub(r"[^A-Za-z0-9]+", "_", str(finding.seed))
+    path = corpus_dir / f"fuzz_{slug}_{finding.divergence.kind}.str"
+    header = "\n".join([
+        "/* Shrunk fuzz reproducer (do not edit by hand).",
+        f" * seed: {finding.seed}",
+        f" * divergence: {finding.divergence}",
+        " * Replayed by tests/test_fuzz_corpus.py: all routes must agree.",
+        " */",
+    ])
+    source = finding.shrunk_source or finding.source
+    path.write_text(f"{header}\n\n{source}")
+    return path
+
+
+def _shrink_predicate(original: Divergence, iterations: int,
+                      native: bool) -> Callable[[ProgramSpec], bool]:
+    want = original.signature()
+
+    def predicate(spec: ProgramSpec) -> bool:
+        report = run_source(render(spec), iterations=iterations,
+                            native=native)
+        return (report.divergence is not None
+                and report.divergence.signature() == want)
+
+    return predicate
+
+
+def fuzz_campaign(seed: int | str = 0, runs: int = 100,
+                  iterations: int = 4, native: bool = False,
+                  shrink: bool = False, corpus_dir: Path | None = None,
+                  options: GeneratorOptions | None = None,
+                  log: Callable[[str], None] | None = None
+                  ) -> CampaignResult:
+    """Run a fuzzing campaign; returns the findings (empty == healthy)."""
+    result = CampaignResult(master_seed=seed)
+    say = log or (lambda _message: None)
+    with trace.span("fuzz.campaign", seed=str(seed), runs=runs):
+        for i in range(runs):
+            run_seed = f"{seed}:{i}"
+            with trace.span("fuzz.program", seed=run_seed):
+                spec = random_spec(run_seed, options)
+                result.features |= spec.features
+                source = render(spec)
+                report = run_source(source, iterations=iterations,
+                                    native=native)
+            obs_metrics.counter("fuzz.programs").inc()
+            result.programs += 1
+            if report.skipped is not None:
+                obs_metrics.counter("fuzz.skipped").inc()
+                result.skipped += 1
+                continue
+            if report.divergence is None:
+                continue
+            obs_metrics.counter("fuzz.divergences").inc()
+            finding = FuzzFinding(seed=run_seed,
+                                  divergence=report.divergence,
+                                  source=source)
+            say(f"divergence at seed {run_seed}: {report.divergence}")
+            if shrink:
+                with trace.span("fuzz.shrink", seed=run_seed):
+                    predicate = _shrink_predicate(report.divergence,
+                                                  iterations, native)
+                    shrunk = shrink_spec(spec, predicate)
+                    finding.shrunk_source = render(shrunk)
+            if corpus_dir is not None:
+                finding.reproducer = write_reproducer(finding, corpus_dir)
+                say(f"wrote reproducer {finding.reproducer}")
+            result.findings.append(finding)
+    return result

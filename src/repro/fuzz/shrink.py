@@ -1,0 +1,152 @@
+"""Delta-debugging minimizer for diverging fuzz programs.
+
+Shrinking operates on the :class:`~repro.fuzz.generator.ProgramSpec`,
+not on source text: every candidate is a structurally smaller spec that
+still renders to a well-formed program, so the search space stays tiny
+and the result is readable.  The caller supplies a predicate ("does
+this spec still diverge the same way?"); candidates that break
+compilation simply fail the predicate and are discarded, which is what
+makes the transformations below safe to attempt blindly.
+
+The search is greedy-to-fixpoint: apply the first accepted candidate,
+restart enumeration from the smaller spec, stop when no candidate is
+accepted.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, Iterator
+
+from repro.fuzz.generator import (FLOAT, BodySpec, FeedbackSpec, FilterSpec,
+                                  ProgramSpec, SplitJoinSpec)
+
+__all__ = ["shrink_spec"]
+
+MAX_PREDICATE_CALLS = 400
+
+
+def _stage_types(stage: object) -> tuple[str | None, str | None]:
+    if isinstance(stage, FilterSpec):
+        return stage.in_ty, stage.out_ty
+    if isinstance(stage, SplitJoinSpec):
+        branch = stage.branches[0]
+        return branch[0].in_ty, branch[-1].out_ty
+    assert isinstance(stage, FeedbackSpec)
+    return stage.body.in_ty, stage.body.out_ty
+
+
+def _filters(spec: ProgramSpec) -> list[FilterSpec]:
+    out: list[FilterSpec] = []
+    for stage in spec.stages:
+        if isinstance(stage, FilterSpec):
+            out.append(stage)
+        elif isinstance(stage, SplitJoinSpec):
+            for branch in stage.branches:
+                out.extend(branch)
+        else:
+            out.extend([stage.body, stage.loop])
+    return out
+
+
+def _passthrough(name: str, in_ty: str, out_ty: str) -> FilterSpec:
+    expr = "x0" if in_ty == out_ty else f"(({out_ty}) x0)"
+    body = BodySpec(push=1, pop=1, peek=1,
+                    stmts=[f"{in_ty} x0 = pop();"], push_exprs=[expr])
+    return FilterSpec(name=name, in_ty=in_ty, out_ty=out_ty, work=body)
+
+
+def _pop_stmts(body: BodySpec, in_ty: str | None) -> list[str]:
+    if in_ty is None:
+        return []
+    return [f"{in_ty} x{i} = pop();" for i in range(body.pop)]
+
+
+def _fallback(ty: str | None) -> str:
+    return "0.0" if ty == FLOAT else "0"
+
+
+def _candidates(spec: ProgramSpec) -> Iterator[ProgramSpec]:
+    """Structurally smaller variants, most aggressive first."""
+    # 1. Drop a type-preserving interior stage outright.
+    for i in range(1, len(spec.stages) - 1):
+        in_ty, out_ty = _stage_types(spec.stages[i])
+        if in_ty == out_ty:
+            candidate = copy.deepcopy(spec)
+            del candidate.stages[i]
+            yield candidate
+    # 2. Collapse a composite stage into one pass-through filter.
+    for i, stage in enumerate(spec.stages):
+        if isinstance(stage, (SplitJoinSpec, FeedbackSpec)):
+            in_ty, out_ty = _stage_types(stage)
+            candidate = copy.deepcopy(spec)
+            candidate.stages[i] = _passthrough(f"Shrunk{i}", in_ty, out_ty)
+            yield candidate
+    for k, original in enumerate(_filters(spec)):
+        # 3. Drop a prework body.
+        if original.prework is not None:
+            candidate = copy.deepcopy(spec)
+            _filters(candidate)[k].prework = None
+            yield candidate
+        # 4. Strip a work body down to its mandatory pops (a push expr
+        #    that referenced a dropped local makes the candidate fail to
+        #    compile — the predicate rejects it, nothing else needed).
+        minimal = _pop_stmts(original.work, original.in_ty)
+        if original.work.stmts != minimal:
+            candidate = copy.deepcopy(spec)
+            _filters(candidate)[k].work.stmts = list(minimal)
+            yield candidate
+        # 5. Shrink a peek window back to the pop rate.
+        if original.work.peek > original.work.pop:
+            candidate = copy.deepcopy(spec)
+            _filters(candidate)[k].work.peek = original.work.pop
+            yield candidate
+        # 6. Replace individual push expressions with a constant.
+        for j, expr in enumerate(original.work.push_exprs):
+            if expr != _fallback(original.out_ty):
+                candidate = copy.deepcopy(spec)
+                target = _filters(candidate)[k]
+                target.work.push_exprs[j] = _fallback(original.out_ty)
+                yield candidate
+        # 7. Drop a field nothing references any more.
+        bodies = [original.work] + ([original.prework]
+                                    if original.prework else [])
+        used = " ".join(stmt for b in bodies for stmt in b.stmts)
+        used += " " + " ".join(e for b in bodies for e in b.push_exprs)
+        for name, _ty, _size in original.fields:
+            if original.counter and name == "t":
+                continue
+            if name not in used:
+                candidate = copy.deepcopy(spec)
+                target = _filters(candidate)[k]
+                target.fields = [f for f in target.fields if f[0] != name]
+                target.init_stmts = [s for s in target.init_stmts
+                                     if name not in s]
+                yield candidate
+
+
+def shrink_spec(spec: ProgramSpec,
+                predicate: Callable[[ProgramSpec], bool],
+                max_predicate_calls: int = MAX_PREDICATE_CALLS
+                ) -> ProgramSpec:
+    """Greedily minimize ``spec`` while ``predicate`` keeps holding.
+
+    ``predicate`` must return True for ``spec`` itself ("still diverges
+    the same way"); the returned spec is a local minimum under the
+    transformation set, reached in at most ``max_predicate_calls``
+    oracle runs.
+    """
+    current = copy.deepcopy(spec)
+    calls = 0
+    progress = True
+    while progress and calls < max_predicate_calls:
+        progress = False
+        for candidate in _candidates(current):
+            calls += 1
+            if predicate(candidate):
+                current = candidate
+                progress = True
+                break
+            if calls >= max_predicate_calls:
+                break
+    return current

@@ -257,15 +257,10 @@ class Elaborator:
             raise ElaborationError(
                 f"filter {decl.name!r}: peek rate {peek} < pop rate {pop}",
                 work.loc, self.source)
-        if not is_prework:
-            if out_type != VOID and push == 0:
-                raise ElaborationError(
-                    f"filter {decl.name!r} has output type {out_type} but "
-                    "push rate 0", work.loc, self.source)
-            if in_type != VOID and pop == 0 and peek == 0:
-                raise ElaborationError(
-                    f"filter {decl.name!r} has input type {in_type} but "
-                    "pop/peek rate 0", work.loc, self.source)
+        # Zero steady rates on typed ports are legal: they pair with
+        # weight-0 splitter/joiner ports (the branch sees no traffic).
+        # Genuinely unbalanced programs are rejected later by the balance
+        # equations, which see the whole graph.
         return Rates(push=push, pop=pop, peek=peek)
 
     def _resolve_array_type(self, base: Type, dims: list[ast.Expr],
@@ -352,10 +347,14 @@ class Elaborator:
                 f"{which} roundrobin has {len(weights)} weight(s) for "
                 f"{n_children} branch(es)", split.loc, self.source)
         for weight in weights:
-            if weight <= 0:
+            if weight < 0:
                 raise ElaborationError(
-                    f"{which} roundrobin weights must be positive",
+                    f"{which} roundrobin weights must be non-negative",
                     split.loc, self.source)
+        if sum(weights) == 0:
+            raise ElaborationError(
+                f"{which} roundrobin needs at least one positive weight",
+                split.loc, self.source)
         return weights
 
     def _elaborate_feedbackloop(self, decl: ast.FeedbackLoopDecl,

@@ -575,7 +575,11 @@ class FifoInterpreter:
         if intrinsic.name == "randf":
             return self.rng.randf()
         if intrinsic.name == "randi":
-            return self.rng.randi(int(args[0]))  # type: ignore[arg-type]
+            try:
+                return self.rng.randi(int(args[0]))  # type: ignore[arg-type]
+            except ValueError as error:
+                raise InterpError(str(error), expr.loc, self.source) \
+                    from None
         assert intrinsic.impl is not None
         if intrinsic.policy == "float":
             args = [float(a) for a in args]  # type: ignore[arg-type]

@@ -123,7 +123,11 @@ class LaminarInterpreter:
             self._set(op.result, self.rng.randf())
             return
         if op.name == "randi":
-            self._set(op.result, self.rng.randi(int(args[0])))  # type: ignore
+            try:
+                self._set(op.result,
+                          self.rng.randi(int(args[0])))  # type: ignore
+            except ValueError as error:
+                raise InterpError(str(error)) from None
             return
         intrinsic = INTRINSICS[op.name]
         assert intrinsic.impl is not None

@@ -106,6 +106,7 @@ def _fold_op(op: Op) -> Value | None:
     if isinstance(op, SelectOp) and op.then is op.otherwise:
         return op.then
     if isinstance(op, CallOp) and op.pure \
+            and INTRINSICS[op.name].pure \
             and all(isinstance(a, Const) for a in op.args):
         intrinsic = INTRINSICS[op.name]
         assert intrinsic.impl is not None
@@ -223,7 +224,16 @@ def _cse_key(op: Op) -> tuple | None:
     if isinstance(op, SelectOp):
         return ("select", _vkey(op.cond), _vkey(op.then),
                 _vkey(op.otherwise))
-    if isinstance(op, CallOp) and op.pure:
+    if isinstance(op, CallOp):
+        # Never deduplicate an effectful call: two `randi(n)` calls must
+        # advance the RNG twice even with identical operands.  Belt and
+        # suspenders — check both the op's own flag and the intrinsic
+        # table, so a CallOp constructed with the default ``pure=True``
+        # for an impure intrinsic still cannot be merged.
+        intrinsic = INTRINSICS.get(op.name)
+        if op.has_side_effect or (intrinsic is not None
+                                  and not intrinsic.pure):
+            return None
         return ("call", op.name, tuple(_vkey(a) for a in op.args))
     return None
 

@@ -34,11 +34,15 @@ def repetition_vector(graph: FlatGraph) -> dict[Vertex, int]:
                 continue
             push = channel.src.push_rate(channel.src_port)
             pop = channel.dst.pop_rate(channel.dst_port)
-            if push <= 0 or pop <= 0:
+            if push == 0 and pop == 0:
+                # A dead channel (e.g. behind a weight-0 round-robin
+                # port): trivially balanced, constrains nothing.
+                continue
+            if push == 0 or pop == 0:
                 raise RateError(
                     f"channel {channel.name} ({channel.src.name} -> "
-                    f"{channel.dst.name}) has a zero rate "
-                    f"(push={push}, pop={pop})")
+                    f"{channel.dst.name}) has a one-sided zero rate "
+                    f"(push={push}, pop={pop}); no steady state exists")
             if channel.src in ratio:
                 implied = ratio[channel.src] * push / pop
                 known, other = channel.dst, implied
@@ -60,7 +64,8 @@ def repetition_vector(graph: FlatGraph) -> dict[Vertex, int]:
     missing = [v.name for v in graph.vertices if v not in ratio]
     if missing:
         raise RateError(
-            "stream graph is disconnected; unreachable vertices: "
+            "stream graph is disconnected (or attached only through "
+            "zero-rate channels); unconstrained vertices: "
             + ", ".join(missing))
 
     denominator_lcm = 1

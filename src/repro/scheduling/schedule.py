@@ -133,13 +133,21 @@ def _init_counts(graph: FlatGraph, order: list[Vertex]) -> dict[Vertex, int]:
         total = 0
         remaining = firings
         if isinstance(vertex, FilterVertex):
+            prework = vertex.filter.prework
             if vertex.has_prework and remaining > 0:
-                assert vertex.filter.prework is not None
-                total += vertex.filter.prework.pop
+                assert prework is not None
+                total += prework.pop
                 remaining -= 1
             total += remaining * vertex.filter.work.pop
             total += max(0,
                          vertex.filter.work.peek - vertex.filter.work.pop)
+            if vertex.has_prework and firings > 0:
+                # The prework firing itself must see its full peek
+                # window, which the steady-rate arithmetic above does
+                # not account for when prework rates differ from work
+                # rates (e.g. `prework peek 3 pop 0`).
+                assert prework is not None
+                total = max(total, prework.peek)
         else:
             total += remaining * vertex.pop_rate(port)
         return total
@@ -161,8 +169,17 @@ def _init_counts(graph: FlatGraph, order: list[Vertex]) -> dict[Vertex, int]:
     def firings_to_produce(vertex: Vertex, needed: int,
                            channel: Channel) -> int:
         firings = 0
-        while produced_by(vertex, firings, channel) < needed:
+        produced = produced_by(vertex, firings, channel)
+        while produced < needed:
             firings += 1
+            now = produced_by(vertex, firings, channel)
+            if now == produced and firings > 1:
+                # Past any prework firing the producer adds nothing per
+                # firing (a zero-rate port): the demand can never be met.
+                raise ScheduleError(
+                    f"init schedule needs {needed} token(s) on "
+                    f"{channel.name} but {vertex.name} produces none")
+            produced = now
             if firings > 1_000_000:  # pragma: no cover
                 raise ScheduleError(
                     f"init demand on {vertex.name} diverges")

@@ -193,3 +193,60 @@ class TestProfile:
         assert main(["profile", tiny_file, "-n", "2"]) == 0
         capsys.readouterr()
         assert trace.is_enabled() == was
+
+
+class TestFuzz:
+    def test_fuzz_smoke(self, capsys):
+        assert main(["fuzz", "--seed", "cli", "--runs", "3", "-n", "2"]) \
+            == 0
+        err = capsys.readouterr().err
+        assert "3 programs" in err
+        assert "0 divergence" in err
+
+    def test_fuzz_reports_divergence(self, monkeypatch, capsys):
+        import repro.fuzz.driver
+        from repro.fuzz.oracle import Divergence, OracleReport
+
+        def always_diverges(source, **kwargs):
+            return OracleReport(Divergence(
+                kind="output-mismatch", route="laminar-opt",
+                detail="synthetic"))
+
+        monkeypatch.setattr(repro.fuzz.driver, "run_source",
+                            always_diverges)
+        assert main(["fuzz", "--seed", "cli", "--runs", "2"]) == 1
+        captured = capsys.readouterr()
+        assert "output-mismatch" in captured.out
+        assert "2 divergence" in captured.err
+
+    def test_fuzz_writes_corpus(self, monkeypatch, tmp_path, capsys):
+        import repro.fuzz.driver
+        from repro.fuzz.oracle import Divergence, OracleReport
+
+        monkeypatch.setattr(
+            repro.fuzz.driver, "run_source",
+            lambda source, **kwargs: OracleReport(Divergence(
+                kind="output-mismatch", route="laminar-opt",
+                detail="synthetic")))
+        corpus = tmp_path / "corpus"
+        assert main(["fuzz", "--seed", "x", "--runs", "1",
+                     "--corpus-dir", str(corpus)]) == 1
+        capsys.readouterr()
+        files = list(corpus.glob("*.str"))
+        assert len(files) == 1
+        assert "Shrunk fuzz reproducer" in files[0].read_text()
+
+
+class TestNonConvergenceNotice:
+    def test_run_notices_nonconvergent_optimizer(self, tiny_file,
+                                                 monkeypatch, capsys):
+        import repro.opt.pipeline as pipeline
+        monkeypatch.setattr(pipeline, "_FIXPOINT_ROUNDS", 0)
+        with pytest.warns(RuntimeWarning):
+            assert main(["run", tiny_file, "-n", "2", "--quiet"]) == 0
+        err = capsys.readouterr().err
+        assert "notice: optimizer did not reach a fixpoint" in err
+
+    def test_run_is_quiet_when_converged(self, tiny_file, capsys):
+        assert main(["run", tiny_file, "-n", "2", "--quiet"]) == 0
+        assert "notice:" not in capsys.readouterr().err

@@ -1,0 +1,38 @@
+"""Replay every checked-in fuzz reproducer as a regression test.
+
+Each ``tests/fuzz_corpus/*.str`` file is a shrunk program that once
+exposed a divergence between execution routes.  Replaying them through
+the differential oracle keeps the underlying fixes honest: any
+regression shows up as a route disagreement, not just a unit-test
+failure.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.backend.runner import find_compiler
+from repro.fuzz.oracle import run_source
+
+CORPUS_DIR = Path(__file__).parent / "fuzz_corpus"
+CORPUS = sorted(CORPUS_DIR.glob("*.str"))
+
+
+def test_corpus_is_populated():
+    assert CORPUS, f"no reproducers found in {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_reproducer_routes_agree(path):
+    report = run_source(path.read_text(), iterations=4)
+    assert report.skipped is None, report.skipped
+    assert report.divergence is None, str(report.divergence)
+
+
+@pytest.mark.skipif(find_compiler() is None,
+                    reason="no C compiler on PATH")
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_reproducer_native_routes_agree(path):
+    report = run_source(path.read_text(), iterations=4, native=True)
+    assert report.skipped is None, report.skipped
+    assert report.divergence is None, str(report.divergence)
