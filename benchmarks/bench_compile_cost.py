@@ -3,28 +3,61 @@
 LaminarIR trades run-time bookkeeping for compile time and code size:
 the whole steady state is unrolled, so both grow with the schedule.
 This driver sweeps benchmark problem sizes (scale 1x/2x/4x) and reports
-lowering+optimization wall time, LaminarIR steady-section size, generated
-C size for both backends, and the modeled speedup — showing that the win
-persists while the compile-side costs grow roughly linearly with the
-steady state.
+lowering wall time, *optimize* wall time (timed separately by the pass
+manager), LaminarIR steady-section size, generated C size for both
+backends, and the modeled speedup — showing that the win persists while
+the compile-side costs grow roughly linearly with the steady state.
+
+The optimize column is compared against two committed baselines under
+``results/``:
+
+* ``compile_cost_seed.json`` — the pre-pass-manager pipeline, for the
+  "vs seed" speedup column (the analysis-driven rewrite's headline);
+* ``compile_cost_baseline.json`` — the current pipeline, for CI's
+  regression gate: ``--check NAME [NAME...]`` re-measures just those
+  benchmarks and fails if any optimize time exceeds 2x its baseline.
+
+Every full run also writes ``results/compile_cost.json`` with the raw
+measurements.
 """
 
+import argparse
+import json
 import os
 import sys
 import time
 
 sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 
-from benchmarks.common import emit
+from benchmarks.common import RESULTS_DIR, emit
 from repro.evaluation import evaluate_stream, format_table
 from repro.machine import I7_2600K
 from repro.suite import load_benchmark
 
-SWEEP_NAMES = ("fft", "bitonic_sort", "matrixmult", "autocor")
+SWEEP_NAMES = ("fft", "bitonic_sort", "matrixmult", "autocor", "filterbank")
 SCALES = (1, 2, 4)
 
+# CI regression gate: fail --check when optimize time exceeds this
+# multiple of the committed baseline (generous — CI machines are noisy,
+# a real regression from losing the sparse worklists is 5-10x).
+CHECK_TOLERANCE = 2.0
 
-def measure(name: str, scale: int) -> dict:
+_SEED_BASELINE = RESULTS_DIR / "compile_cost_seed.json"
+_CURRENT_BASELINE = RESULTS_DIR / "compile_cost_baseline.json"
+
+
+def _load_baseline(path) -> dict[str, float]:
+    data = json.loads(path.read_text())
+    return {key: value for key, value in data.items()
+            if not key.startswith("_")}
+
+
+def measure(name: str, scale: int, full: bool = True) -> dict:
+    """Compile one benchmark at one scale and time each stage.
+
+    ``full=False`` (the CI check path) stops after lowering: code
+    generation and interpretation are not part of the optimize-time gate.
+    """
     start = time.perf_counter()
     stream = load_benchmark(name, scale=scale)
     frontend_seconds = time.perf_counter() - start
@@ -32,56 +65,157 @@ def measure(name: str, scale: int) -> dict:
     start = time.perf_counter()
     lowered = stream.lower()
     lowering_seconds = time.perf_counter() - start
+    opt_stats = lowered.opt_stats
 
+    result = {
+        "frontend_s": frontend_seconds,
+        "lowering_s": lowering_seconds,
+        "optimize_s": opt_stats.optimize_seconds,
+        "fixpoint_rounds": opt_stats.fixpoint_rounds,
+        "converged": opt_stats.converged,
+        "steady_ops": len(lowered.program.steady),
+    }
+    if not full:
+        return result
     fifo_c = stream.fifo_c()
     laminar_c = stream.laminar_c()
     record = evaluate_stream(name, stream, iterations=2)
     assert record.outputs_match, (name, scale)
-    return {
-        "frontend_s": frontend_seconds,
-        "lowering_s": lowering_seconds,
-        "steady_ops": len(lowered.program.steady),
+    result.update({
         "fifo_c_kb": len(fifo_c) / 1024,
         "laminar_c_kb": len(laminar_c) / 1024,
         "speedup": record.speedup(I7_2600K),
-    }
+    })
+    return result
 
 
 def build_report() -> tuple[str, dict]:
+    seed = _load_baseline(_SEED_BASELINE)
     rows = []
     data: dict[tuple[str, int], dict] = {}
     for name in SWEEP_NAMES:
         for scale in SCALES:
             result = measure(name, scale)
             data[(name, scale)] = result
+            seed_s = seed.get(f"{name}@{scale}")
+            vs_seed = f"{seed_s / result['optimize_s']:.1f}x" \
+                if seed_s and result["optimize_s"] > 0 else "n/a"
             rows.append([
                 f"{name} x{scale}",
                 str(result["steady_ops"]),
-                f"{result['lowering_s'] * 1000:.0f} ms",
+                f"{result['optimize_s'] * 1000:.0f} ms",
+                vs_seed,
                 f"{result['fifo_c_kb']:.1f} KB",
                 f"{result['laminar_c_kb']:.1f} KB",
                 f"{result['speedup']:.2f}x",
             ])
     table = format_table(
-        ["benchmark/scale", "LaminarIR steady ops", "lower+opt time",
-         "FIFO C size", "LaminarIR C size", "modeled speedup (i7)"],
+        ["benchmark/scale", "LaminarIR steady ops", "optimize time",
+         "vs seed", "FIFO C size", "LaminarIR C size",
+         "modeled speedup (i7)"],
         rows,
         title="Extension: compile-time and code-size cost of the "
               "unrolled steady state")
     return table, data
 
 
+def _write_json(data: dict) -> None:
+    payload = {f"{name}@{scale}": result
+               for (name, scale), result in data.items()}
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "compile_cost.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def check(names: list[str]) -> int:
+    """CI smoke: re-measure ``names`` and gate on the committed baseline.
+
+    Measures every swept scale of each benchmark (lower+optimize only)
+    and fails when any optimize time exceeds ``CHECK_TOLERANCE`` times
+    the committed value — i.e. when the analysis-driven pass manager
+    stops paying for itself.
+    """
+    baseline = _load_baseline(_CURRENT_BASELINE)
+    failures = []
+    for name in names:
+        for scale in SCALES:
+            key = f"{name}@{scale}"
+            expected = baseline.get(key)
+            if expected is None:
+                print(f"compile-cost check: no baseline for {key}; "
+                      f"regenerate {_CURRENT_BASELINE.name}",
+                      file=sys.stderr)
+                return 2
+            result = measure(name, scale, full=False)
+            actual = result["optimize_s"]
+            status = "ok"
+            if actual > expected * CHECK_TOLERANCE:
+                status = "FAIL"
+                failures.append(key)
+            print(f"{key}: optimize {actual * 1000:.0f} ms "
+                  f"(baseline {expected * 1000:.0f} ms, "
+                  f"tolerance {CHECK_TOLERANCE:.0f}x) {status}")
+            assert result["converged"], key
+    if failures:
+        print(f"compile-cost check failed for: {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def update_baseline() -> int:
+    """Re-measure the whole sweep and rewrite the committed baseline."""
+    data = _load_baseline(_CURRENT_BASELINE)
+    comment = json.loads(_CURRENT_BASELINE.read_text()).get("_comment")
+    for name in SWEEP_NAMES:
+        for scale in SCALES:
+            result = measure(name, scale, full=False)
+            data[f"{name}@{scale}"] = round(result["optimize_s"], 4)
+            print(f"{name}@{scale}: {result['optimize_s']:.4f}s")
+    payload = {"_comment": comment, **data} if comment else data
+    _CURRENT_BASELINE.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {_CURRENT_BASELINE}")
+    return 0
+
+
 def test_compile_cost(benchmark):
     benchmark(lambda: load_benchmark("fft", scale=2).lower())
     table, data = build_report()
     emit("compile_cost", table)
+    _write_json(data)
+    seed = _load_baseline(_SEED_BASELINE)
     for name in SWEEP_NAMES:
         # code size grows with the problem...
         assert data[(name, 4)]["steady_ops"] >= \
             data[(name, 1)]["steady_ops"]
         # ...but the speedup does not collapse
         assert data[(name, 4)]["speedup"] > 1.0
+    # The acceptance headline: the pass manager optimizes the largest
+    # steady state (filterbank) at least 2x faster than the seed.
+    assert data[("filterbank", 4)]["optimize_s"] * 2.0 <= \
+        seed["filterbank@4"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check", nargs="+", metavar="NAME",
+        help="CI smoke mode: measure just these benchmarks and fail on "
+             f"a >{CHECK_TOLERANCE:.0f}x optimize-time regression")
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="re-measure the sweep and rewrite "
+             "results/compile_cost_baseline.json")
+    args = parser.parse_args(argv)
+    if args.check:
+        return check(args.check)
+    if args.update_baseline:
+        return update_baseline()
+    table, data = build_report()
+    _write_json(data)
+    print(table)
+    return 0
 
 
 if __name__ == "__main__":
-    print(build_report()[0])
+    sys.exit(main())

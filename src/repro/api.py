@@ -92,7 +92,13 @@ class CompiledStream:
 
     def lower(self, lowering: LoweringOptions | None = None,
               opt: OptOptions | None = None) -> LoweredResult:
-        """Lower to LaminarIR and optimize.  Results are cached per options."""
+        """Lower to LaminarIR and optimize.  Results are cached per options.
+
+        ``opt`` configures the pass manager: ``OptOptions.pipeline``
+        selects an explicit pass ordering and ``max_rounds`` caps the
+        fixpoint (see ``docs/OPTIMIZER.md``); the returned
+        :class:`LoweredResult` carries the per-pass ``OptStats``.
+        """
         key = (_options_key(lowering if lowering is not None
                             else LoweringOptions()),
                _options_key(opt if opt is not None else OptOptions()))

@@ -26,7 +26,10 @@ Commands
     List the benchmark suite.
 
 ``run`` and ``report`` also accept ``--trace`` to print the span tree
-to stderr after the normal output.
+to stderr after the normal output.  ``run``, ``emit``, ``report`` and
+``profile`` accept ``--opt-pipeline cp,promote,fold,cse,dce`` (an
+explicit pass ordering) and ``--opt-max-rounds N`` (the fixpoint round
+cap); see ``docs/OPTIMIZER.md``.
 """
 
 from __future__ import annotations
@@ -44,7 +47,7 @@ from repro.machine import PLATFORMS
 from repro.obs import export as obs_export
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
-from repro.opt import OptOptions
+from repro.opt import OptOptions, parse_pipeline
 from repro.suite import BENCHMARKS, benchmark_names, load_benchmark
 
 
@@ -54,7 +57,33 @@ def _options(args: argparse.Namespace) -> tuple[LoweringOptions,
         eliminate_splitjoin=not getattr(args, "no_elim", False))
     opt = OptOptions.none() if getattr(args, "no_opt", False) \
         else OptOptions()
+    pipeline = getattr(args, "opt_pipeline", None)
+    if pipeline is not None:
+        # An explicit ordering wins over the boolean switches (including
+        # --no-opt): exactly these passes run, in this order.
+        opt.pipeline = pipeline
+    max_rounds = getattr(args, "opt_max_rounds", None)
+    if max_rounds is not None:
+        opt.max_rounds = max_rounds
     return lowering, opt
+
+
+def _pipeline_spec(spec: str) -> tuple[str, ...]:
+    """argparse type for --opt-pipeline: validate pass names up front."""
+    try:
+        return parse_pipeline(spec)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+
+
+def _add_opt_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--opt-pipeline", type=_pipeline_spec, metavar="PASSES",
+        help="comma-separated pass ordering, e.g. "
+             "'cp,promote,fold,cse,dce' (overrides the default pipeline)")
+    parser.add_argument(
+        "--opt-max-rounds", type=int, metavar="N",
+        help="cap the optimizer's fixpoint rounds (default 64)")
 
 
 def _notice_nonconvergence(stream: CompiledStream,
@@ -142,9 +171,11 @@ def cmd_report(args: argparse.Namespace) -> int:
               "list`", file=sys.stderr)
         return 1
     stream = load_benchmark(args.name)
+    lowering, opt = _options(args)
     record = evaluate_stream(args.name, stream,
-                             iterations=args.iterations)
-    _notice_nonconvergence(stream)
+                             iterations=args.iterations,
+                             lowering=lowering, opt=opt)
+    _notice_nonconvergence(stream, lowering, opt)
     print(f"benchmark: {args.name} — {BENCHMARKS[args.name].description}")
     print(f"outputs match: {record.outputs_match}")
     print(f"data communication: -{record.comm.reduction * 100:.1f}%")
@@ -158,6 +189,17 @@ def cmd_report(args: argparse.Namespace) -> int:
                      str(record.spills.get(model.name, 0))])
     print(format_table(["platform (modeled)", "speedup", "energy",
                         "spilled values"], rows))
+    stats = record.opt_stats
+    if stats is not None and stats.pass_stats:
+        print()
+        convergence = "converged" if stats.converged else "gave up"
+        print(format_table(
+            ["optimizer pass", "runs", "changes"],
+            [[stat.name, str(stat.runs), str(stat.changes)]
+             for stat in stats.pass_stats],
+            title=f"optimizer: {stats.fixpoint_rounds} fixpoint round(s), "
+                  f"{convergence}, {stats.analysis_rebuilds} analysis "
+                  f"build(s), {stats.optimize_seconds * 1000:.1f} ms"))
     return 0
 
 
@@ -255,6 +297,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="disable splitter/joiner elimination")
     run.add_argument("--no-opt", action="store_true",
                      help="disable the optimizer")
+    _add_opt_arguments(run)
     run.add_argument("--trace", action="store_true",
                      help="print the pipeline span tree to stderr")
     run.set_defaults(func=cmd_run)
@@ -265,6 +308,7 @@ def build_parser() -> argparse.ArgumentParser:
                       default="lir")
     emit.add_argument("--no-elim", action="store_true")
     emit.add_argument("--no-opt", action="store_true")
+    _add_opt_arguments(emit)
     emit.set_defaults(func=cmd_emit)
 
     graph = sub.add_parser("graph", help="print the flat stream graph")
@@ -277,6 +321,7 @@ def build_parser() -> argparse.ArgumentParser:
                             help="paper metrics for a suite benchmark")
     report.add_argument("name")
     report.add_argument("-n", "--iterations", type=int, default=4)
+    _add_opt_arguments(report)
     report.add_argument("--trace", action="store_true",
                         help="print the pipeline span tree to stderr")
     report.set_defaults(func=cmd_report)
@@ -294,6 +339,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "to PATH")
     profile.add_argument("--no-elim", action="store_true")
     profile.add_argument("--no-opt", action="store_true")
+    _add_opt_arguments(profile)
     profile.set_defaults(func=cmd_profile)
 
     fuzz = sub.add_parser(

@@ -17,7 +17,7 @@ from repro.lir import LoweringOptions
 from repro.machine.metrics import CommunicationReport
 from repro.machine.platforms import CostModel, PLATFORMS, estimate_spills
 from repro.obs import trace
-from repro.opt import OptOptions
+from repro.opt import OptOptions, OptStats
 from repro.suite import load_benchmark
 
 
@@ -31,6 +31,9 @@ class BenchmarkEvaluation:
     laminar: RunResult
     outputs_match: bool
     spills: dict[str, int] = field(default_factory=dict)
+    # Optimizer statistics of the lowered program (per-pass counts,
+    # fixpoint rounds, optimize wall time) — the report command's table.
+    opt_stats: OptStats | None = None
 
     # -- derived metrics ------------------------------------------------------
 
@@ -107,7 +110,8 @@ def evaluate_stream(name: str, stream: CompiledStream, iterations: int = 8,
         return BenchmarkEvaluation(
             name=name, stats=stream.stats(), comm=stream.communication(),
             iterations=iterations, fifo=fifo, laminar=laminar,
-            outputs_match=fifo.outputs == laminar.outputs, spills=spills)
+            outputs_match=fifo.outputs == laminar.outputs, spills=spills,
+            opt_stats=lowered.opt_stats)
 
 
 def evaluate_benchmark(name: str, iterations: int = 8,

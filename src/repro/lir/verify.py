@@ -121,3 +121,35 @@ def verify(program: Program) -> Program:
     """Raise :class:`VerificationError` if ``program`` is malformed."""
     _Verifier(program).run()
     return program
+
+
+def verify_index(program: Program, index) -> None:
+    """Check an incrementally-maintained index against a fresh rebuild.
+
+    ``index`` is a :class:`repro.lir.analysis.ProgramIndex`.  The check
+    compacts the index (so the section lists reflect every erasure) and
+    compares its normalized snapshot against one built from scratch —
+    any drift means a pass updated the program without telling the
+    index, or vice versa.  Used by the optimizer's ``verify_analyses``
+    mode and the analysis property tests.
+    """
+    from repro.lir.analysis import ProgramIndex
+
+    index.compact()
+    fresh = ProgramIndex(program)
+    mine = index.snapshot()
+    theirs = fresh.snapshot()
+    if mine == theirs:
+        return
+    for key in theirs:
+        if mine.get(key) != theirs[key]:
+            ours, ref = mine.get(key), theirs[key]
+            if isinstance(ours, dict) and isinstance(ref, dict):
+                missing = sorted(set(ref) - set(ours))
+                extra = sorted(set(ours) - set(ref))
+                stale = sorted(k for k in set(ours) & set(ref)
+                               if ours[k] != ref[k])
+                _fail(f"analysis index mismatch in {key!r}: "
+                      f"missing={missing} extra={extra} stale={stale}")
+            _fail(f"analysis index mismatch in {key!r}")
+    _fail("analysis index mismatch")

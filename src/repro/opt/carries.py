@@ -10,12 +10,19 @@ LLVM does to the paper's static-input programs.
 
 Comparison is bit-exact (``-0.0`` is not ``0.0``; ``True`` is not ``1``)
 so the substitution never changes observable output.
+
+Both passes come in two forms: an indexed version that works through a
+:class:`repro.opt.passes.FixpointState` (used by the pass manager, so
+replaced parameters requeue exactly the affected ops) and the original
+standalone one-argument functions.
 """
 
 from __future__ import annotations
 
+from repro.lir.analysis import ProgramIndex
 from repro.lir.ops import Const, Temp, Value
 from repro.lir.program import Program
+from repro.opt.passes import FixpointState
 
 
 def _same_const(left: Value, right: Value) -> bool:
@@ -28,42 +35,50 @@ def _same_const(left: Value, right: Value) -> bool:
     return repr(left.value) == repr(right.value)
 
 
-def specialize_constant_carries(program: Program) -> int:
+def specialize_carries(state: FixpointState) -> int:
     """Replace invariant constant carries with their constants.
 
-    Returns the number of carries removed.  Run inside the optimizer's
-    fixpoint loop: each round of constant folding can expose new
-    invariant carries.
+    Runs inside the optimizer's fixpoint: each round of constant folding
+    can expose new invariant carries (the manager re-runs this only
+    while ``carry_dirty`` is set).  The parameter-to-constant rewrites
+    happen *before* the carry lists are filtered, so every dropped
+    init/next entry is a constant by then — no op use is orphaned.
     """
-    subst: dict[Temp, Value] = {}
+    program, index = state.program, state.index
+    replaced: list[tuple[Temp, Const]] = []
     keep: list[int] = []
-    for index, param in enumerate(program.carry_params):
-        init = program.carry_inits[index]
-        nxt = program.carry_nexts[index]
+    for position, param in enumerate(program.carry_params):
+        init = program.carry_inits[position]
+        nxt = program.carry_nexts[position]
         invariant = _same_const(init, nxt) \
             or (isinstance(init, Const) and nxt is param)
         if invariant:
-            subst[param] = init
+            assert isinstance(init, Const)
+            replaced.append((param, init))
         else:
-            keep.append(index)
-    if not subst:
+            keep.append(position)
+    if not replaced:
         return 0
-
-    def resolve(value: Value) -> Value:
-        while isinstance(value, Temp) and value in subst:
-            value = subst[value]
-        return value
-
-    for _title, ops in program.sections():
-        for op in ops:
-            op.map_operands(resolve)
+    for param, constant in replaced:
+        affected, carries = index.replace_all_uses(param, constant)
+        state.note_rewritten(affected, carries)
     program.carry_params = [program.carry_params[i] for i in keep]
-    program.carry_inits = [resolve(program.carry_inits[i]) for i in keep]
-    program.carry_nexts = [resolve(program.carry_nexts[i]) for i in keep]
-    return len(subst)
+    program.carry_inits = [program.carry_inits[i] for i in keep]
+    program.carry_nexts = [program.carry_nexts[i] for i in keep]
+    index.rebuild_carries()
+    return len(replaced)
 
 
-def eliminate_dead_carries(program: Program) -> int:
+def specialize_constant_carries(program: Program) -> int:
+    """Standalone entry point: returns the number of carries removed."""
+    index = ProgramIndex(program)
+    state = FixpointState(program, index)
+    removed = specialize_carries(state)
+    index.compact()
+    return removed
+
+
+def remove_dead_carries(state: FixpointState) -> int:
     """Remove loop carries that never influence an observable effect.
 
     A carry is *live* if its parameter is used by any op, or if it feeds
@@ -71,20 +86,17 @@ def eliminate_dead_carries(program: Program) -> int:
     consumer pops tokens it never reads (decimators) or when earlier
     passes fold away every use; removing them shrinks the loop-carried
     footprint that dominates register pressure.
+
+    Dropping a dead carry removes the last uses of its init/next values;
+    their defining ops go onto the DCE worklist.
     """
+    program, index = state.program, state.index
     params = program.carry_params
     if not params:
         return 0
     index_of = {param.id: i for i, param in enumerate(params)}
 
-    used_by_ops: set[int] = set()
-    for _title, ops in program.sections():
-        for op in ops:
-            for operand in op.operands():
-                if isinstance(operand, Temp):
-                    used_by_ops.add(operand.id)
-
-    live = [params[i].id in used_by_ops for i in range(len(params))]
+    live = [index.op_use_count(param.id) > 0 for param in params]
     changed = True
     while changed:
         changed = False
@@ -97,8 +109,28 @@ def eliminate_dead_carries(program: Program) -> int:
     if all(live):
         return 0
     keep = [i for i, is_live in enumerate(live) if is_live]
-    removed = len(params) - len(keep)
+    dropped: list[Value] = []
+    for i, is_live in enumerate(live):
+        if not is_live:
+            dropped.append(program.carry_inits[i])
+            dropped.append(program.carry_nexts[i])
     program.carry_params = [program.carry_params[i] for i in keep]
     program.carry_inits = [program.carry_inits[i] for i in keep]
     program.carry_nexts = [program.carry_nexts[i] for i in keep]
+    index.rebuild_carries()
+    state.carry_dirty = True
+    for value in dropped:
+        if isinstance(value, Temp) and index.use_count(value.id) == 0:
+            def_op = index.def_of(value.id)
+            if def_op is not None:
+                state.dce.push(def_op)
+    return len(params) - len(keep)
+
+
+def eliminate_dead_carries(program: Program) -> int:
+    """Standalone entry point: returns the number of carries removed."""
+    index = ProgramIndex(program)
+    state = FixpointState(program, index)
+    removed = remove_dead_carries(state)
+    index.compact()
     return removed

@@ -250,3 +250,43 @@ class TestNonConvergenceNotice:
     def test_run_is_quiet_when_converged(self, tiny_file, capsys):
         assert main(["run", tiny_file, "-n", "2", "--quiet"]) == 0
         assert "notice:" not in capsys.readouterr().err
+
+
+class TestOptPipelineFlags:
+    def test_run_with_custom_pipeline(self, tiny_file, capsys):
+        assert main(["run", tiny_file, "-n", "2", "--quiet",
+                     "--opt-pipeline", "cp,fold,dce"]) == 0
+        assert "checksum" in capsys.readouterr().err
+
+    def test_run_with_max_rounds(self, tiny_file, capsys):
+        assert main(["run", tiny_file, "-n", "2", "--quiet",
+                     "--opt-max-rounds", "8"]) == 0
+        assert "checksum" in capsys.readouterr().err
+
+    def test_unknown_pass_rejected_up_front(self, tiny_file, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", tiny_file, "--opt-pipeline", "cp,frobnicate"])
+        assert excinfo.value.code == 2
+        assert "unknown optimizer pass" in capsys.readouterr().err
+
+    def test_emit_respects_pipeline(self, tiny_file, capsys):
+        assert main(["emit", tiny_file, "--form", "lir",
+                     "--opt-pipeline", "cp"]) == 0
+        assert "steady" in capsys.readouterr().out
+
+    def test_report_prints_pass_table(self, capsys):
+        assert main(["report", "lattice", "-n", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "optimizer pass" in out
+        assert "dead_code_elimination" in out
+        assert "fixpoint round(s)" in out
+
+    def test_report_with_max_rounds_caps_fixpoint(self, capsys):
+        # A cap of 0 deterministically hits the give-up path; small
+        # programs can genuinely converge within a single capped round.
+        with pytest.warns(RuntimeWarning):
+            assert main(["report", "lattice", "-n", "2",
+                         "--opt-max-rounds", "0"]) == 0
+        captured = capsys.readouterr()
+        assert "notice: optimizer did not reach a fixpoint" in captured.err
+        assert "0 fixpoint round(s), gave up" in captured.out

@@ -489,3 +489,76 @@ class TestDeadCarryElimination:
         program = stream.lower().program
         assert len(program.carry_params) == 1
         assert stream.run_laminar(6).outputs == stream.run_fifo(6).outputs
+
+
+class TestPassManagerConfig:
+    """The pass-pipeline and round-cap knobs added with the pass manager."""
+
+    def test_parse_pipeline_resolves_aliases(self):
+        from repro.opt import parse_pipeline
+        assert parse_pipeline("cp,promote,fold,cse,dce") == (
+            "copy_propagation", "promote_state", "constant_folding",
+            "common_subexpression_elimination", "dead_code_elimination")
+
+    def test_parse_pipeline_rejects_unknown_pass(self):
+        from repro.opt import parse_pipeline
+        with pytest.raises(ValueError, match="unknown optimizer pass"):
+            parse_pipeline("cp,frobnicate")
+
+    def test_explicit_pipeline_runs_exactly_those_passes(self, demo_stream):
+        from repro.lir import lower
+        program = lower(demo_stream.schedule, demo_stream.source)
+        stats = optimize(program, OptOptions(
+            pipeline=("cp", "fold", "dce")))
+        names = {stat.name for stat in stats.pass_stats}
+        assert "copy_propagation" in names
+        assert "promote_state" not in names
+        assert "common_subexpression_elimination" not in names
+        assert "schedule_for_pressure" not in names
+
+    def test_custom_pipeline_preserves_outputs(self, demo_stream):
+        base = demo_stream.run_laminar(6)
+        alt = demo_stream.run_laminar(6, opt=OptOptions(
+            pipeline=("dce", "fold", "cse", "carry", "dce", "schedule")))
+        assert base.outputs == alt.outputs
+
+    def test_max_rounds_caps_fixpoint(self, demo_stream):
+        from repro.lir import lower
+        program = lower(demo_stream.schedule, demo_stream.source)
+        with pytest.warns(RuntimeWarning, match="did not reach a fixpoint"):
+            stats = optimize(program, OptOptions(max_rounds=1))
+        assert stats.fixpoint_rounds == 1
+        assert not stats.converged
+
+    def test_max_rounds_default_matches_module_cap(self, demo_stream):
+        stats = demo_stream.lower().opt_stats
+        assert stats.converged
+        assert stats.fixpoint_rounds <= 64
+
+    def test_pass_stats_reported_in_first_run_order(self, demo_stream):
+        stats = demo_stream.lower().opt_stats
+        names = [stat.name for stat in stats.pass_stats]
+        assert names[0] == "dead_code_elimination"  # the dense pre-prune
+        assert "copy_propagation" in names
+        assert all(stat.runs >= 1 for stat in stats.pass_stats)
+        folded = sum(stat.changes for stat in stats.pass_stats
+                     if stat.name == "constant_folding")
+        assert folded == stats.ops_folded
+
+
+class TestSuiteIdempotence:
+    """Optimizing an already-optimized program must change nothing."""
+
+    def test_every_suite_program(self):
+        from repro.suite import benchmark_names, load_benchmark
+        for name in benchmark_names(include_extras=True):
+            lowered = load_benchmark(name).lower()
+            sizes = {title: len(ops)
+                     for title, ops in lowered.program.sections()}
+            second = optimize(lowered.program)
+            after = {title: len(ops)
+                     for title, ops in lowered.program.sections()}
+            assert after == sizes, name
+            assert second.converged, name
+            for stat in second.pass_stats:
+                assert stat.changes == 0, (name, stat.name)
