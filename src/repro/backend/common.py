@@ -138,6 +138,82 @@ int main(int argc, char **argv) {
 """
 
 
+C_PROFILE_BUCKETS = 64
+
+
+def _c_json_string(name: str) -> str:
+    """A C string literal whose contents are valid inside a JSON string."""
+    out = []
+    for ch in name:
+        if ch in ('"', "\\"):
+            out.append("\\\\" + ("\\\"" if ch == '"' else "\\\\"))
+        elif ord(ch) < 0x20 or ord(ch) > 0x7E:
+            out.append(f"\\\\u{ord(ch):04x}")
+        else:
+            out.append(ch)
+    return '"' + "".join(out) + '"'
+
+
+def c_profile_runtime(names: list[str]) -> str:
+    """The per-filter profiling runtime, enabled by ``profile=True`` codegen.
+
+    Declares one accumulator row per filter (wall-clock nanoseconds, static
+    op count, call count) plus a log2-ns histogram of whole steady
+    iterations.  A destructor prints everything as a single ``profile-json``
+    line on stderr, which :func:`repro.backend.runner.run_binary` parses
+    back into :class:`NativeRun.profile`.  The names are emitted
+    JSON-escaped so the dump can print them verbatim.
+    """
+    count = max(len(names), 1)
+    quoted = ",\n    ".join(_c_json_string(n) for n in names) or '""'
+    return f"""
+#define REPRO_PROFILE 1
+#define REPRO_PROF_FILTERS {count}
+#define REPRO_PROF_BUCKETS {C_PROFILE_BUCKETS}
+
+static const char *repro_prof_names[REPRO_PROF_FILTERS] = {{
+    {quoted}
+}};
+static double repro_prof_ns[REPRO_PROF_FILTERS];
+static unsigned long long repro_prof_ops[REPRO_PROF_FILTERS];
+static unsigned long long repro_prof_calls[REPRO_PROF_FILTERS];
+static unsigned long long repro_prof_hist[REPRO_PROF_BUCKETS];
+static unsigned long long repro_prof_iters = 0;
+static double repro_prof_t0;
+static double repro_prof_t_iter;
+
+static void repro_prof_note_iter(double seconds) {{
+    double ns = seconds * 1e9;
+    int bucket = 0;
+    while (bucket < REPRO_PROF_BUCKETS - 1 && ns >= 2.0) {{
+        ns *= 0.5;
+        bucket++;
+    }}
+    repro_prof_hist[bucket]++;
+    repro_prof_iters++;
+}}
+
+__attribute__((destructor))
+static void repro_prof_dump(void) {{
+    int i;
+    fprintf(stderr, "profile-json {{\\"iterations\\":%llu,\\"filters\\":[",
+            repro_prof_iters);
+    for (i = 0; i < REPRO_PROF_FILTERS; i++) {{
+        fprintf(stderr,
+                "%s{{\\"name\\":\\"%s\\",\\"ns\\":%.0f,\\"ops\\":%llu,"
+                "\\"calls\\":%llu}}",
+                i ? "," : "", repro_prof_names[i], repro_prof_ns[i],
+                repro_prof_ops[i], repro_prof_calls[i]);
+    }}
+    fprintf(stderr, "],\\"hist\\":[");
+    for (i = 0; i < REPRO_PROF_BUCKETS; i++) {{
+        fprintf(stderr, "%s%llu", i ? "," : "", repro_prof_hist[i]);
+    }}
+    fprintf(stderr, "]}}\\n");
+}}
+"""
+
+
 def c_type(ty: ScalarType) -> str:
     if ty == INT or ty == BOOLEAN:
         return "i32"

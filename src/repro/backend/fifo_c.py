@@ -13,7 +13,8 @@ from dataclasses import dataclass
 
 from repro.backend.c_ast import CAstPrinter, helper_function
 from repro.backend.common import (C_MAIN, C_PRELUDE, c_float_literal,
-                                  c_int_literal, c_type, sanitize_ident)
+                                  c_int_literal, c_profile_runtime, c_type,
+                                  sanitize_ident)
 from repro.frontend.types import ArrayType, ScalarType
 from repro.graph.nodes import (Channel, FilterVertex, FlatGraph,
                                JoinerVertex, SplitterVertex, Vertex)
@@ -43,16 +44,26 @@ class FifoCodegenOptions:
 
 class FifoCBackend:
     def __init__(self, schedule: Schedule, source: str = "",
-                 options: FifoCodegenOptions | None = None):
+                 options: FifoCodegenOptions | None = None,
+                 profile: bool = False):
         self.schedule = schedule
         self.graph: FlatGraph = schedule.graph
         self.source = source
         self.options = options or FifoCodegenOptions()
+        self.profile = profile
         self.chunks: list[str] = []
         self._vertex_prefix: dict[Vertex, str] = {}
+        # Vertex name -> profiling row index, first-seen steady order.
+        self.prof_index: dict[str, int] = {}
 
     def generate(self) -> str:
         self.chunks = [C_PRELUDE]
+        if self.profile:
+            for firing in self.schedule.steady:
+                name = firing.vertex.name
+                if name not in self.prof_index:
+                    self.prof_index[name] = len(self.prof_index)
+            self.chunks.append(c_profile_runtime(list(self.prof_index)))
         self._name_vertices()
         for channel in self.graph.channels:
             self._emit_channel(channel)
@@ -66,7 +77,8 @@ class FifoCBackend:
                 self._emit_joiner(vertex)
         self._emit_setup()
         self._emit_sequence("repro_init_schedule", self.schedule.init)
-        self._emit_sequence("repro_steady", self.schedule.steady)
+        self._emit_sequence("repro_steady", self.schedule.steady,
+                            profiled=self.profile)
         self.chunks.append(C_MAIN)
         return "\n".join(self.chunks)
 
@@ -221,8 +233,11 @@ static inline {ty} {name}_peek(int i) {{
         lines.append("}")
         self.chunks.append("\n".join(lines))
 
-    def _emit_sequence(self, name: str, firings: list[Firing]) -> None:
+    def _emit_sequence(self, name: str, firings: list[Firing],
+                       profiled: bool = False) -> None:
         lines = [f"static void {name}(void)", "{"]
+        if profiled:
+            lines.append("    repro_prof_t_iter = repro_now();")
         index = 0
         while index < len(firings):
             firing = firings[index]
@@ -232,17 +247,37 @@ static inline {ty} {name}_peek(int i) {{
                 run += 1
             suffix = "prework" if firing.prework else "work"
             call = f"{self._prefix(firing.vertex)}_{suffix}();"
+            if profiled:
+                lines.append("    repro_prof_t0 = repro_now();")
             if run == 1:
                 lines.append(f"    {call}")
             else:
                 lines.append(f"    for (int i = 0; i < {run}; i++)")
                 lines.append(f"        {call}")
+            if profiled:
+                # The baseline has no static per-op counts — time and
+                # call counts only (a compressed run counts every call).
+                row = self.prof_index[firing.vertex.name]
+                lines.append(f"    repro_prof_ns[{row}] += "
+                             f"(repro_now() - repro_prof_t0) * 1e9;")
+                lines.append(f"    repro_prof_calls[{row}] += {run};")
             index += run
+        if profiled:
+            lines.append("    repro_prof_note_iter("
+                         "repro_now() - repro_prof_t_iter);")
         lines.append("}")
         self.chunks.append("\n".join(lines))
 
 
 def generate_fifo_c(schedule: Schedule, source: str = "",
-                    options: FifoCodegenOptions | None = None) -> str:
-    """Generate the complete baseline C program."""
-    return FifoCBackend(schedule, source, options).generate()
+                    options: FifoCodegenOptions | None = None,
+                    profile: bool = False) -> str:
+    """Generate the complete baseline C program.
+
+    ``profile=True`` times every steady-schedule call site per vertex and
+    dumps a ``profile-json`` stderr line at exit (see
+    :func:`repro.backend.common.c_profile_runtime`); ``profile=False``
+    output is unchanged.
+    """
+    return FifoCBackend(schedule, source, options,
+                        profile=profile).generate()

@@ -14,7 +14,8 @@ iteration) are emitted as statics; everything else is a block-local.
 from __future__ import annotations
 
 from repro.backend.common import (C_MAIN, C_PRELUDE, INTRINSIC_C_NAMES,
-                                  c_float_literal, c_int_literal, c_type)
+                                  c_float_literal, c_int_literal,
+                                  c_profile_runtime, c_type)
 from repro.frontend.types import FLOAT, INT
 from repro.lir.ops import (BinOp, CallOp, CastOp, Const, LoadOp, MoveOp, Op,
                            PrintOp, SelectOp, StoreOp, Temp, UnOp, Value)
@@ -24,10 +25,14 @@ _SECTION_NAMES = ("repro_setup", "repro_init_schedule", "repro_steady")
 
 
 class LaminarCBackend:
-    def __init__(self, program: Program):
+    def __init__(self, program: Program, profile: bool = False):
         self.program = program
+        self.profile = profile
         self.cross_section: set[int] = set()
         self.declared: set[int] = set()
+        # Filter name -> row index in the profiling accumulator tables,
+        # in first-seen steady order (profile mode only).
+        self.prof_index: dict[str, int] = {}
 
     # -- value naming ---------------------------------------------------------
 
@@ -71,9 +76,33 @@ class LaminarCBackend:
 
     # -- generation ------------------------------------------------------------------
 
+    def _steady_runs(self) -> list[tuple[str | None, list[Op]]]:
+        """Contiguous runs of steady ops sharing a primary filter.
+
+        The key is ``op.prov[0].filter`` (``None`` for unstamped ops,
+        e.g. hand-built programs); each run is timed as one unit so the
+        instrumentation cost is amortized over the whole run.
+        """
+        runs: list[tuple[str | None, list[Op]]] = []
+        for op in self.program.steady:
+            key = op.prov[0].filter if op.prov else None
+            if runs and runs[-1][0] == key:
+                runs[-1][1].append(op)
+            else:
+                runs.append((key, [op]))
+        return runs
+
     def generate(self) -> str:
         self._analyze()
         chunks = [C_PRELUDE]
+
+        steady_runs: list[tuple[str | None, list[Op]]] = []
+        if self.profile:
+            steady_runs = self._steady_runs()
+            for key, _run_ops in steady_runs:
+                if key is not None and key not in self.prof_index:
+                    self.prof_index[key] = len(self.prof_index)
+            chunks.append(c_profile_runtime(list(self.prof_index)))
 
         for slot in self.program.state_slots:
             ty = c_type(slot.ty)
@@ -95,8 +124,26 @@ class LaminarCBackend:
 
         for section, (title, ops) in enumerate(self.program.sections()):
             lines = [f"static void {_SECTION_NAMES[section]}(void)", "{"]
-            for op in ops:
-                lines.append("    " + self._op(op))
+            if self.profile and section == 2:
+                lines.append("    repro_prof_t_iter = repro_now();")
+                for key, run_ops in steady_runs:
+                    if key is None:
+                        lines.extend("    " + self._op(op)
+                                     for op in run_ops)
+                        continue
+                    # No braces around the run: its temps stay visible
+                    # to later runs (cross-run uses are the norm).
+                    row = self.prof_index[key]
+                    lines.append("    repro_prof_t0 = repro_now();")
+                    lines.extend("    " + self._op(op) for op in run_ops)
+                    lines.append(f"    repro_prof_ns[{row}] += "
+                                 f"(repro_now() - repro_prof_t0) * 1e9;")
+                    lines.append(
+                        f"    repro_prof_ops[{row}] += {len(run_ops)};")
+                    lines.append(f"    repro_prof_calls[{row}]++;")
+            else:
+                for op in ops:
+                    lines.append("    " + self._op(op))
             if section == 1:
                 for param, value in zip(self.program.carry_params,
                                         self.program.carry_inits):
@@ -110,6 +157,9 @@ class LaminarCBackend:
                         f"    {ty} n{index} = {self._value(value)};")
                 for index, param in enumerate(self.program.carry_params):
                     lines.append(f"    {self._name(param)} = n{index};")
+            if self.profile and section == 2:
+                lines.append("    repro_prof_note_iter("
+                             "repro_now() - repro_prof_t_iter);")
             lines.append("}")
             chunks.append("\n".join(lines))
 
@@ -186,6 +236,13 @@ class LaminarCBackend:
         return f"{c_name}({args})"
 
 
-def generate_laminar_c(program: Program) -> str:
-    """Generate the complete LaminarIR C program."""
-    return LaminarCBackend(program).generate()
+def generate_laminar_c(program: Program, profile: bool = False) -> str:
+    """Generate the complete LaminarIR C program.
+
+    With ``profile=True`` the steady section is instrumented with
+    per-filter wall-clock accumulators and an iteration-latency
+    histogram, dumped as a ``profile-json`` stderr line at exit.  With
+    ``profile=False`` the output is byte-identical to what this module
+    always produced — the instrumentation adds zero ops when disabled.
+    """
+    return LaminarCBackend(program, profile=profile).generate()

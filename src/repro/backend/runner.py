@@ -6,12 +6,14 @@ the host-platform column of the speedup experiment (E3).
 
 from __future__ import annotations
 
+import json
 import shutil
 import subprocess
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.obs import metrics as obs_metrics
 from repro.obs import trace
 
 DEFAULT_CFLAGS = ("-O3", "-fwrapv", "-std=gnu11")
@@ -37,6 +39,11 @@ class NativeRun:
     output_count: int
     seconds: float
     outputs: list[float | int]  # populated only in print mode
+    # Parsed ``profile-json`` side channel: present only when the binary
+    # was generated with ``profile=True``.  Shape:
+    # {"iterations": int, "filters": [{"name","ns","ops","calls"}...],
+    #  "hist": [int, ...]} (log2-ns buckets of whole steady iterations).
+    profile: dict | None = None
 
 
 def compile_c(code: str, workdir: Path | None = None,
@@ -53,13 +60,16 @@ def compile_c(code: str, workdir: Path | None = None,
     binary = workdir / name
     src.write_text(code)
     with trace.span("native.compile", name=name, compiler=compiler,
-                    code_bytes=len(code)):
+                    flags=" ".join(cflags), code_bytes=len(code)):
         result = subprocess.run(
             [compiler, *cflags, str(src), "-o", str(binary), "-lm"],
             capture_output=True, text=True)
     if result.returncode != 0:
         raise NativeToolchainError(
             f"C compilation failed:\n{result.stderr[:4000]}")
+    warnings = result.stderr.count("warning:")
+    if warnings:
+        obs_metrics.counter("native.compile.warnings").inc(warnings)
     return binary
 
 
@@ -79,7 +89,11 @@ def run_binary(binary: Path, iterations: int,
     checksum = 0
     count = 0
     seconds = 0.0
+    profile: dict | None = None
     for line in result.stderr.splitlines():
+        if line.startswith("profile-json "):
+            profile = json.loads(line[len("profile-json "):])
+            continue
         parts = line.split()
         if len(parts) != 2:
             continue
@@ -97,7 +111,7 @@ def run_binary(binary: Path, iterations: int,
                 continue
             outputs.append(int(text) if _is_int(text) else float(text))
     return NativeRun(checksum=checksum, output_count=count, seconds=seconds,
-                     outputs=outputs)
+                     outputs=outputs, profile=profile)
 
 
 def _is_int(text: str) -> bool:

@@ -12,11 +12,16 @@ Commands
     Print the flat stream graph and schedule summary.
 ``report NAME``
     Evaluate one suite benchmark and print the paper's metrics for it.
+    ``--attribution`` adds the per-filter provenance table (op counts
+    before/after optimization, steady share, tokens moved).
 ``profile TARGET``
     Trace the whole pipeline (a ``.str`` file or suite benchmark name)
     and print the span tree plus collected metrics; ``--json`` emits the
     same machine-readably and ``--chrome-trace PATH`` writes a
-    ``chrome://tracing`` / Perfetto trace-event file.
+    ``chrome://tracing`` / Perfetto trace-event file.  ``--native``
+    additionally compiles the laminar C backend with ``REPRO_PROFILE``
+    instrumentation and reports per-filter native ns/iteration (outputs
+    are checked bit-exact against the uninstrumented build).
 ``fuzz --seed N --runs K``
     Differential fuzzing: generate random programs and check that every
     execution route agrees (see ``docs/FUZZING.md``).  ``--native`` adds
@@ -200,7 +205,42 @@ def cmd_report(args: argparse.Namespace) -> int:
             title=f"optimizer: {stats.fixpoint_rounds} fixpoint round(s), "
                   f"{convergence}, {stats.analysis_rebuilds} analysis "
                   f"build(s), {stats.optimize_seconds * 1000:.1f} ms"))
+    if getattr(args, "attribution", False):
+        print()
+        print(_attribution_table(stream, lowering, opt))
     return 0
+
+
+def _attribution_table(stream: CompiledStream, lowering: LoweringOptions,
+                       opt: OptOptions) -> str:
+    """Per-filter provenance attribution, before vs after optimization."""
+    from repro.lir import attribute_program, steady_share
+
+    before_rows = attribute_program(
+        stream.lower(lowering, OptOptions.none()).program)
+    after_rows = attribute_program(stream.lower(lowering, opt).program)
+    before_by = {row.name: row for row in before_rows}
+    share = steady_share(after_rows)
+    rows = []
+    for row in after_rows:
+        before = before_by.get(row.name)
+        rows.append([row.name, row.kind,
+                     str(before.total_ops if before else 0),
+                     str(row.total_ops),
+                     f"{share.get(row.name, 0.0) * 100:.1f}%",
+                     str(row.tokens_per_iter),
+                     str(row.firings_per_iter)])
+    rows.append(["(total)", "",
+                 str(sum(row.total_ops for row in before_rows)),
+                 str(sum(row.total_ops for row in after_rows)),
+                 "100.0%",
+                 str(sum(row.tokens_per_iter for row in after_rows)),
+                 str(sum(row.firings_per_iter for row in after_rows))])
+    return format_table(
+        ["filter", "kind", "ops before", "ops after", "% steady",
+         "tokens/iter", "firings/iter"], rows,
+        title="per-filter attribution (op provenance, steady share of "
+              "the optimized program)")
 
 
 def _load_target(target: str) -> CompiledStream | None:
@@ -226,10 +266,17 @@ def cmd_profile(args: argparse.Namespace) -> int:
         lowering, opt = _options(args)
         report = check_equivalence(stream, iterations=args.iterations,
                                    lowering=lowering, opt=opt)
+        native_table = None
+        if getattr(args, "native", False):
+            native_table = _native_profile(stream, lowering, opt,
+                                           args.iterations)
+            if native_table is None:
+                return 1
         roots = obs_trace.get_trace()
         metric_values = obs_metrics.registry().as_dict()
         if args.chrome_trace:
-            obs_export.write_chrome_trace(roots, args.chrome_trace)
+            obs_export.write_chrome_trace(roots, args.chrome_trace,
+                                          metrics=metric_values)
             print(f"wrote Chrome trace-event JSON to {args.chrome_trace} "
                   "(load in chrome://tracing or ui.perfetto.dev)",
                   file=sys.stderr)
@@ -241,6 +288,9 @@ def cmd_profile(args: argparse.Namespace) -> int:
                 roots, metric_values,
                 title=f"profile of {stream.name} "
                       f"({args.iterations} iterations)"))
+        if native_table is not None and not args.json:
+            print()
+            print(native_table)
         if not report.matches:
             print("error: FIFO and LaminarIR outputs diverge",
                   file=sys.stderr)
@@ -249,6 +299,70 @@ def cmd_profile(args: argparse.Namespace) -> int:
     finally:
         if not was_enabled:
             obs_trace.disable()
+
+
+def _native_profile(stream: CompiledStream, lowering: LoweringOptions,
+                    opt: OptOptions, iterations: int) -> str | None:
+    """Run the laminar C backend plain and instrumented; return a table.
+
+    Compiles the program twice — uninstrumented and with
+    ``REPRO_PROFILE`` — asserts the outputs are bit-exact, publishes the
+    parsed per-filter timings into the metrics registry (so they reach
+    the text/JSON/Chrome-trace exporters), and renders the per-filter
+    native table.  Returns ``None`` (after printing the error) when no
+    toolchain is available or the instrumented run diverges.
+    """
+    from repro.backend.laminar_c import generate_laminar_c
+    from repro.backend.runner import NativeToolchainError, compile_and_run
+
+    program = stream.lower(lowering, opt).program
+    try:
+        plain = compile_and_run(generate_laminar_c(program), iterations,
+                                name="laminar")
+        profiled = compile_and_run(
+            generate_laminar_c(program, profile=True), iterations,
+            name="laminar_profiled")
+    except NativeToolchainError as error:
+        print(f"error: native profiling unavailable: {error}",
+              file=sys.stderr)
+        return None
+    if plain.checksum != profiled.checksum:
+        print(f"error: instrumented binary diverged from plain build "
+              f"(checksum {profiled.checksum:016x} != "
+              f"{plain.checksum:016x})", file=sys.stderr)
+        return None
+    if not profiled.profile:
+        print("error: instrumented binary emitted no profile-json line",
+              file=sys.stderr)
+        return None
+    iters = max(profiled.profile.get("iterations", iterations), 1)
+    filters = profiled.profile.get("filters", [])
+    total_ns = sum(entry["ns"] for entry in filters) or 1.0
+    iter_hist = obs_metrics.histogram("native.steady.iter_ns")
+    for bucket, count in enumerate(profiled.profile.get("hist", [])):
+        # Bucket b holds iterations in [2^b, 2^(b+1)) ns; replay the
+        # midpoint so the histogram summary approximates the run.
+        for _ in range(count):
+            iter_hist.observe(1.5 * (1 << bucket))
+    rows = []
+    for entry in filters:
+        name = entry["name"]
+        ns_per_iter = entry["ns"] / iters
+        ops_per_iter = entry["ops"] / iters
+        obs_metrics.gauge(
+            f"native.filter.{name}.ns_per_iter").set(ns_per_iter)
+        obs_metrics.gauge(
+            f"native.filter.{name}.ops_per_iter").set(ops_per_iter)
+        tokens = program.filter_tokens.get(name, 0)
+        rows.append([name, f"{ns_per_iter:.1f}", f"{ops_per_iter:.0f}",
+                     f"{entry['calls'] / iters:.0f}", str(tokens),
+                     f"{entry['ns'] / total_ns * 100:.1f}%"])
+    return format_table(
+        ["filter", "ns/iter", "ops/iter", "calls/iter", "tokens/iter",
+         "% time"], rows,
+        title=f"native per-filter profile ({iters} iterations, "
+              f"checksum {profiled.checksum:016x}, bit-exact vs "
+              "uninstrumented)")
 
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
@@ -321,6 +435,10 @@ def build_parser() -> argparse.ArgumentParser:
                             help="paper metrics for a suite benchmark")
     report.add_argument("name")
     report.add_argument("-n", "--iterations", type=int, default=4)
+    report.add_argument("--attribution", action="store_true",
+                        help="print the per-filter provenance attribution "
+                             "table (ops before/after opt, steady share, "
+                             "tokens moved)")
     _add_opt_arguments(report)
     report.add_argument("--trace", action="store_true",
                         help="print the pipeline span tree to stderr")
@@ -337,6 +455,10 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--chrome-trace", metavar="PATH",
                          help="write chrome://tracing trace-event JSON "
                               "to PATH")
+    profile.add_argument("--native", action="store_true",
+                         help="also compile the laminar C backend with "
+                              "REPRO_PROFILE instrumentation and report "
+                              "per-filter native ns/iteration")
     profile.add_argument("--no-elim", action="store_true")
     profile.add_argument("--no-opt", action="store_true")
     _add_opt_arguments(profile)

@@ -104,6 +104,13 @@ class RunResult:
     # per-iteration numbers from).
     steady_counters: Counters = field(default_factory=Counters)
     iterations: int = 0
+    # Per-vertex steady-phase totals over the whole run, keyed by the
+    # flat-graph vertex name: tokens pushed into channels, and firings.
+    # The FIFO interpreter counts these at run time; the laminar route
+    # derives them statically from the program's lowering-recorded
+    # per-iteration counts — the fuzz property tests assert they agree.
+    filter_tokens: dict[str, int] = field(default_factory=dict)
+    filter_firings: dict[str, int] = field(default_factory=dict)
 
     def per_iteration(self, name: str) -> float:
         if self.iterations == 0:

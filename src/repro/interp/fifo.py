@@ -15,6 +15,7 @@ data-communication / memory-access / cycle numbers.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from repro.frontend import ast_nodes as ast
@@ -28,6 +29,7 @@ from repro.interp.counters import Counters, RunResult
 from repro.interp.values import (coerce_runtime, default_value,
                                  runtime_binary, runtime_unary)
 from repro.obs import metrics as obs_metrics
+from repro.obs import trace
 from repro.scheduling.schedule import Firing, Schedule
 
 
@@ -162,6 +164,13 @@ class FifoInterpreter:
         self.buffers: dict[str, RingBuffer] = {}
         self.states: dict[Vertex, _FilterState] = {}
         self._depth = 0
+        # Per-vertex token pushes / firings, accumulated across all phases;
+        # run() diffs around the steady loop for the RunResult.
+        self.vertex_tokens: dict[str, int] = {}
+        self.vertex_firings: dict[str, int] = {}
+
+    def _note_tokens(self, name: str, amount: int) -> None:
+        self.vertex_tokens[name] = self.vertex_tokens.get(name, 0) + amount
 
     # -- public API -------------------------------------------------------------
 
@@ -170,14 +179,38 @@ class FifoInterpreter:
         for firing in self.schedule.init:
             self._fire(firing)
         steady_start = self.counters.snapshot()
+        tokens_start = dict(self.vertex_tokens)
+        firings_start = dict(self.vertex_firings)
+        timing = trace.is_enabled()
+        iter_seconds = obs_metrics.histogram("interp.fifo.iter_seconds")
         for _ in range(iterations):
+            began = time.perf_counter() if timing else 0.0
             for firing in self.schedule.steady:
                 self._fire(firing)
+            if timing:
+                iter_seconds.observe(time.perf_counter() - began)
         steady = self.counters.delta_since(steady_start)
+        filter_tokens = {
+            name: total - tokens_start.get(name, 0)
+            for name, total in self.vertex_tokens.items()
+            if total - tokens_start.get(name, 0)}
+        filter_firings = {
+            name: total - firings_start.get(name, 0)
+            for name, total in self.vertex_firings.items()
+            if total - firings_start.get(name, 0)}
         obs_metrics.publish_counters("interp.fifo.steady", steady)
+        if trace.is_enabled():
+            for name, tokens in filter_tokens.items():
+                obs_metrics.gauge(
+                    f"interp.fifo.filter.{name}.tokens").set(tokens)
+            for name, firings in filter_firings.items():
+                obs_metrics.gauge(
+                    f"interp.fifo.filter.{name}.firings").set(firings)
         return RunResult(outputs=list(self.outputs),
                          counters=self.counters.snapshot(),
-                         steady_counters=steady, iterations=iterations)
+                         steady_counters=steady, iterations=iterations,
+                         filter_tokens=filter_tokens,
+                         filter_firings=filter_firings)
 
     # -- setup -------------------------------------------------------------------
 
@@ -226,6 +259,8 @@ class FifoInterpreter:
 
     def _fire(self, firing: Firing) -> None:
         vertex = firing.vertex
+        self.vertex_firings[vertex.name] = \
+            self.vertex_firings.get(vertex.name, 0) + 1
         if isinstance(vertex, FilterVertex):
             self._fire_filter(vertex, firing.prework)
         elif isinstance(vertex, SplitterVertex):
@@ -245,6 +280,7 @@ class FifoInterpreter:
         scope = state.base_scope().child()
         assert decl.body is not None
         self._exec_block(decl.body, scope, state, hooks)
+        self._note_tokens(vertex.name, hooks.pushes)
         what = "prework" if prework else "work"
         if hooks.pops != rates.pop:
             raise RateError(
@@ -261,12 +297,14 @@ class FifoInterpreter:
             token = in_buffer.pop()
             for channel in vertex.outputs:
                 assert channel is not None
+                self._note_tokens(vertex.name, 1)
                 self.buffers[channel.name].push(token)
             return
         for port, channel in enumerate(vertex.outputs):
             assert channel is not None
             out_buffer = self.buffers[channel.name]
             for _ in range(vertex.weights[port]):
+                self._note_tokens(vertex.name, 1)
                 out_buffer.push(in_buffer.pop())
 
     def _fire_joiner(self, vertex: JoinerVertex) -> None:
@@ -275,6 +313,7 @@ class FifoInterpreter:
             assert channel is not None
             in_buffer = self.buffers[channel.name]
             for _ in range(vertex.weights[port]):
+                self._note_tokens(vertex.name, 1)
                 out_buffer.push(in_buffer.pop())
 
     # -- statements --------------------------------------------------------------

@@ -13,15 +13,19 @@ large part of the test suite rely on this).
 
 from __future__ import annotations
 
+import time
+
 from repro.frontend.errors import InterpError
 from repro.frontend.intrinsics import INTRINSICS, XorShift32
 from repro.interp.counters import Counters, RunResult
 from repro.interp.values import coerce_runtime, default_value, \
     runtime_binary, runtime_unary
+from repro.lir.attribution import attribute_program
 from repro.lir.ops import (BinOp, CallOp, CastOp, Const, LoadOp, MoveOp, Op,
                            PrintOp, SelectOp, StoreOp, Temp, UnOp, Value)
 from repro.lir.program import Program
 from repro.obs import metrics as obs_metrics
+from repro.obs import trace
 
 
 class LaminarInterpreter:
@@ -48,17 +52,42 @@ class LaminarInterpreter:
         carries = [self._value(v) for v in self.program.carry_inits]
         steady_start = self.counters.snapshot()
         params = self.program.carry_params
+        timing = trace.is_enabled()
+        iter_seconds = obs_metrics.histogram("interp.laminar.iter_seconds")
         for _ in range(iterations):
+            began = time.perf_counter() if timing else 0.0
             for param, value in zip(params, carries):
                 self.registers[param.id] = value
                 self.counters.alu += 1  # loop-carried register move
             self._run_ops(self.program.steady)
             carries = [self._value(v) for v in self.program.carry_nexts]
+            if timing:
+                iter_seconds.observe(time.perf_counter() - began)
         steady = self.counters.delta_since(steady_start)
         obs_metrics.publish_counters("interp.laminar.steady", steady)
+        # The laminar route has no run-time queues, so per-filter totals
+        # are derived statically: the lowering's per-iteration counts
+        # scaled by the iteration count.  The fuzz property tests assert
+        # these agree with the FIFO interpreter's run-time counts.
+        filter_tokens = {name: per_iter * iterations
+                         for name, per_iter
+                         in self.program.filter_tokens.items()}
+        filter_firings = {name: per_iter * iterations
+                          for name, per_iter
+                          in self.program.filter_firings.items()}
+        if timing:
+            for row in attribute_program(self.program):
+                obs_metrics.gauge(
+                    f"interp.laminar.filter.{row.name}.ops").set(
+                        row.steady_ops)
+            for name, tokens in filter_tokens.items():
+                obs_metrics.gauge(
+                    f"interp.laminar.filter.{name}.tokens").set(tokens)
         return RunResult(outputs=list(self.outputs),
                          counters=self.counters.snapshot(),
-                         steady_counters=steady, iterations=iterations)
+                         steady_counters=steady, iterations=iterations,
+                         filter_tokens=filter_tokens,
+                         filter_firings=filter_firings)
 
     # -- execution ---------------------------------------------------------------
 

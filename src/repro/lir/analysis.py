@@ -28,7 +28,8 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
-from repro.lir.ops import LoadOp, Op, StoreOp, Temp, Value
+from repro.lir.ops import (LoadOp, Op, PROVENANCE_KINDS, PROVENANCE_PHASES,
+                           Provenance, StoreOp, Temp, Value)
 from repro.lir.program import Program
 
 
@@ -280,6 +281,33 @@ class ProgramIndex:
         self._erased.clear()
 
     # -- verification support -----------------------------------------------
+
+    def provenance_report(self) -> tuple[int, list[Op], list[Op]]:
+        """Provenance integrity over the live ops.
+
+        Returns ``(stamped, missing, malformed)``: how many live ops
+        carry provenance, which carry none, and which carry an entry
+        that is not a well-formed :class:`Provenance` (wrong type, empty
+        filter name, unknown kind/phase).  Integrity is all-or-nothing
+        per program — hand-built programs legitimately carry none, but a
+        lowered program must never *lose* stamps to a pass, so ``stamped
+        and missing`` is the failure condition ``verify_index`` checks.
+        """
+        stamped = 0
+        missing: list[Op] = []
+        malformed: list[Op] = []
+        for op in self.live_ops():
+            if not op.prov:
+                missing.append(op)
+                continue
+            stamped += 1
+            for entry in op.prov:
+                if not isinstance(entry, Provenance) or not entry.filter \
+                        or entry.kind not in PROVENANCE_KINDS \
+                        or entry.phase not in PROVENANCE_PHASES:
+                    malformed.append(op)
+                    break
+        return stamped, missing, malformed
 
     def snapshot(self) -> dict:
         """A normalized view for comparison against a fresh rebuild.

@@ -118,6 +118,7 @@ class _FilterHooks(TokenHooks):
             raise LoweringError(f"{self.vertex.name}: push without output",
                                 loc, self.lowerer.source)
         assert self.out_ty is not None
+        self.lowerer.note_tokens(self.vertex.name, 1)
         self.out_queue.append(self.lowerer.emitter.coerce(value,
                                                           self.out_ty))
 
@@ -133,10 +134,19 @@ class Lowerer:
         self.program = Program(name=self.graph.name)
         self.queues: dict[str, deque[Value]] = {}
         self.executors: dict[FilterVertex, BodyExecutor] = {}
+        # True while lowering the steady section: per-vertex token and
+        # firing counts only accumulate there (the attribution tables and
+        # interpreters report steady-state numbers).
+        self._counting = False
 
     def queue_of(self, channel: Channel | None) -> deque[Value]:
         assert channel is not None
         return self.queues[channel.name]
+
+    def note_tokens(self, vertex_name: str, amount: int) -> None:
+        if self._counting and amount:
+            tokens = self.program.filter_tokens
+            tokens[vertex_name] = tokens.get(vertex_name, 0) + amount
 
     # -- driver ---------------------------------------------------------------
 
@@ -145,6 +155,7 @@ class Lowerer:
             self.queues[channel.name] = deque(
                 _const_token(v, channel.ty) for v in channel.initial)
 
+        self.emitter.set_phase("setup")
         self.emitter.set_block(self.program.setup)
         for vertex in self.graph.topological_order():
             if isinstance(vertex, FilterVertex):
@@ -152,6 +163,7 @@ class Lowerer:
 
         for executor in self.executors.values():
             executor.invalidate_field_caches()
+        self.emitter.set_phase("init")
         self.emitter.set_block(self.program.init)
         for firing in self.schedule.init:
             self._fire(firing)
@@ -160,10 +172,13 @@ class Lowerer:
 
         for executor in self.executors.values():
             executor.invalidate_field_caches()
+        self.emitter.set_phase("steady")
         self.emitter.set_block(self.program.steady)
+        self._counting = True
         for _ in range(self.options.steady_multiplier):
             for firing in self.schedule.steady:
                 self._fire(firing)
+        self._counting = False
         self._capture_nexts()
 
         self.program.prints_per_iteration = sum(
@@ -174,6 +189,7 @@ class Lowerer:
 
     def _setup_filter(self, vertex: FilterVertex) -> None:
         node = vertex.filter
+        self.emitter.set_actor(node.name, "filter")
         fields: dict[str, FieldCell] = {}
         prefix = _sanitize(node.name)
         for name, ty in node.field_types.items():
@@ -204,6 +220,11 @@ class Lowerer:
 
     def _fire(self, firing: Firing) -> None:
         vertex = firing.vertex
+        if self._counting:
+            firings = self.program.filter_firings
+            firings[vertex.name] = firings.get(vertex.name, 0) + 1
+            self.program.filter_kinds.setdefault(
+                vertex.name, vertex.kind.replace("Vertex", "").lower())
         if isinstance(vertex, FilterVertex):
             self._fire_filter(vertex, firing.prework)
         elif isinstance(vertex, SplitterVertex):
@@ -215,6 +236,7 @@ class Lowerer:
 
     def _fire_filter(self, vertex: FilterVertex, prework: bool) -> None:
         node = vertex.filter
+        self.emitter.set_actor(node.name, "filter")
         rates = node.prework if prework else node.work
         assert rates is not None
         body = node.decl.prework if prework else node.decl.work
@@ -240,22 +262,27 @@ class Lowerer:
         return result
 
     def _fire_splitter(self, vertex: SplitterVertex) -> None:
+        self.emitter.set_actor(vertex.name, "splitter")
         in_queue = self.queue_of(vertex.inputs[0])
         if vertex.policy == "duplicate":
             token = in_queue.popleft()
             for channel in vertex.outputs:
+                self.note_tokens(vertex.name, 1)
                 self.queue_of(channel).append(self._route(token))
             return
         for port, channel in enumerate(vertex.outputs):
             out_queue = self.queue_of(channel)
             for _ in range(vertex.weights[port]):
+                self.note_tokens(vertex.name, 1)
                 out_queue.append(self._route(in_queue.popleft()))
 
     def _fire_joiner(self, vertex: JoinerVertex) -> None:
+        self.emitter.set_actor(vertex.name, "joiner")
         out_queue = self.queue_of(vertex.outputs[0])
         for port, channel in enumerate(vertex.inputs):
             in_queue = self.queue_of(channel)
             for _ in range(vertex.weights[port]):
+                self.note_tokens(vertex.name, 1)
                 out_queue.append(self._route(in_queue.popleft()))
 
     # -- loop-carried tokens ------------------------------------------------------

@@ -94,14 +94,52 @@ class StateSlot:
         return f"@{self.name}"
 
 
+# -- provenance ------------------------------------------------------------------
+
+
+PROVENANCE_KINDS = ("filter", "splitter", "joiner")
+PROVENANCE_PHASES = ("setup", "init", "steady")
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """Where an op came from: the actor and source position that emitted it.
+
+    ``filter`` is the unique flat-graph instance name (e.g.
+    ``"FMRadio.LowPass_2"``), ``kind`` the actor class, ``line`` the
+    source line of the statement being lowered (0 when unknown) and
+    ``phase`` the program section the op was emitted into.  Stamped by the
+    lowering (:mod:`repro.lir.symexec`) and preserved by every optimizer
+    pass; CSE merges accumulate the provenance sets of deduplicated ops
+    onto the survivor, so attribution never loses a contributor.
+    """
+
+    filter: str
+    kind: str = "filter"
+    line: int = 0
+    phase: str = "steady"
+
+    def __str__(self) -> str:
+        loc = f":{self.line}" if self.line else ""
+        return f"{self.filter}{loc}@{self.phase}"
+
+
 # -- operations -----------------------------------------------------------------
 
 
 @dataclass(eq=False)
 class Op:
-    """Base class.  ``result`` is None for pure side-effect ops."""
+    """Base class.  ``result`` is None for pure side-effect ops.
+
+    ``prov`` records which actor(s) this op is attributed to — a tuple
+    because CSE can merge ops from different filters; the first entry is
+    the *primary* provenance used for attribution totals.  Empty on
+    hand-built programs (the verifier's integrity check is
+    all-or-nothing per program).
+    """
 
     result: Temp | None
+    prov: tuple[Provenance, ...] = ()
 
     def operands(self) -> Iterator[Value]:
         raise NotImplementedError

@@ -33,6 +33,16 @@ class Program:
     carry_nexts: list[Value] = field(default_factory=list)
     # Number of tokens printed per steady iteration (for harness checksums).
     prints_per_iteration: int = 0
+    # Per-vertex steady-state accounting recorded during lowering (both
+    # per one LaminarIR iteration, i.e. including the steady multiplier):
+    # tokens pushed into channels, and schedule firings.  Keyed by the
+    # flat-graph vertex name; feeds the attribution tables and the
+    # laminar interpreter's per-filter counters.
+    filter_tokens: dict[str, int] = field(default_factory=dict)
+    filter_firings: dict[str, int] = field(default_factory=dict)
+    # Actor kind per vertex name ("filter" | "splitter" | "joiner") —
+    # lets attribution label actors whose ops were all eliminated.
+    filter_kinds: dict[str, str] = field(default_factory=dict)
 
     def sections(self) -> list[tuple[str, list[Op]]]:
         return [("setup", self.setup), ("init", self.init),

@@ -28,8 +28,9 @@ from repro.frontend.types import (ArrayType, BOOLEAN, FLOAT, INT, ScalarType,
 from repro.graph.builder import apply_binary
 from repro.graph.nodes import FilterNode
 from repro.lir.ops import (BinOp, CallOp, CastOp, Const, LoadOp, Op, PrintOp,
-                           SelectOp, StateSlot, StoreOp, Temp, UnOp, Value,
-                           const_bool, const_float, const_int, wrap_i32)
+                           Provenance, SelectOp, StateSlot, StoreOp, Temp,
+                           UnOp, Value, const_bool, const_float, const_int,
+                           wrap_i32)
 
 _CMP_OPS = ("==", "!=", "<", "<=", ">", ">=")
 _INT_ONLY_OPS = ("%", "&", "|", "^", "<<", ">>")
@@ -92,15 +93,60 @@ class TokenHooks:
 
 
 class Emitter:
-    """Appends ops to the current block with eager constant folding."""
+    """Appends ops to the current block with eager constant folding.
+
+    Also stamps provenance: the lowering keeps the emitter told which
+    actor is firing (:meth:`set_actor`), which program section is being
+    built (:meth:`set_phase`) and which source line is executing
+    (:meth:`set_line`); every emitted op gets the current
+    :class:`Provenance`.  Provenance objects are interned per
+    (actor, kind, line, phase) so a large unrolled schedule shares them.
+    """
 
     def __init__(self, op_limit: int = 4_000_000):
         self.block: list[Op] = []
         self.op_limit = op_limit
         self.emitted = 0
+        self._actor = ""
+        self._actor_kind = "filter"
+        self._phase = "setup"
+        self._line = 0
+        self._prov: tuple[Provenance, ...] = ()
+        self._prov_cache: dict[tuple[str, str, int, str],
+                               tuple[Provenance, ...]] = {}
 
     def set_block(self, block: list[Op]) -> None:
         self.block = block
+
+    # -- provenance state ---------------------------------------------------------
+
+    def set_actor(self, name: str, kind: str = "filter") -> None:
+        if name != self._actor or kind != self._actor_kind:
+            self._actor = name
+            self._actor_kind = kind
+            self._refresh_prov()
+
+    def set_phase(self, phase: str) -> None:
+        if phase != self._phase:
+            self._phase = phase
+            self._refresh_prov()
+
+    def set_line(self, line: int) -> None:
+        if line != self._line:
+            self._line = line
+            self._refresh_prov()
+
+    def _refresh_prov(self) -> None:
+        if not self._actor:
+            self._prov = ()
+            return
+        key = (self._actor, self._actor_kind, self._line, self._phase)
+        cached = self._prov_cache.get(key)
+        if cached is None:
+            cached = (Provenance(filter=self._actor, kind=self._actor_kind,
+                                 line=self._line, phase=self._phase),)
+            self._prov_cache[key] = cached
+        self._prov = cached
 
     def emit(self, op: Op) -> None:
         self.emitted += 1
@@ -108,6 +154,7 @@ class Emitter:
             raise LoweringError(
                 f"lowering exceeded {self.op_limit} ops; "
                 "the unrolled schedule is too large")
+        op.prov = self._prov
         self.block.append(op)
 
     # -- folding helpers ---------------------------------------------------------
@@ -346,6 +393,7 @@ class BodyExecutor:
         for fld in self.node.decl.fields:
             if fld.init is None:
                 continue
+            self.emitter.set_line(fld.loc.line)
             cell = self.fields[fld.name]
             value = self._eval(fld.init, env)
             if cell.dims:
@@ -359,6 +407,10 @@ class BodyExecutor:
     def flush_fields(self) -> None:
         """Write dirty scalar-field caches back to their state slots."""
         assert not self.speculative
+        # The lowering may flush several executors in a row at a section
+        # boundary; re-assert the owning filter so the stores attribute
+        # to it rather than to whichever actor last fired.
+        self.emitter.set_actor(self.node.name, "filter")
         for cell in self.fields.values():
             if not cell.dims and cell.dirty:
                 assert cell.cached is not None
@@ -397,6 +449,7 @@ class BodyExecutor:
 
     def _exec(self, stmt: ast.Stmt, env: Env) -> None:
         self._step(stmt.loc)
+        self.emitter.set_line(stmt.loc.line)
         if isinstance(stmt, ast.Block):
             self._exec_block(stmt, env)
         elif isinstance(stmt, ast.VarDecl):

@@ -136,6 +136,14 @@ def verify_index(program: Program, index) -> None:
     from repro.lir.analysis import ProgramIndex
 
     index.compact()
+    stamped, missing, malformed = index.provenance_report()
+    if malformed:
+        _fail(f"provenance integrity: {len(malformed)} op(s) carry a "
+              f"malformed provenance entry, e.g. {malformed[0]} "
+              f"({malformed[0].prov!r})")
+    if stamped and missing:
+        _fail(f"provenance integrity: {len(missing)} op(s) lost their "
+              f"provenance while {stamped} kept it, e.g. {missing[0]}")
     fresh = ProgramIndex(program)
     mine = index.snapshot()
     theirs = fresh.snapshot()

@@ -131,12 +131,35 @@ def to_json(roots: list[Span],
 
 # -- Chrome trace-event format ------------------------------------------------
 
-def to_chrome_trace(roots: list[Span], pid: int | None = None) -> dict:
+def _counter_tracks(metrics: dict[str, object]) -> dict[str, dict]:
+    """Group ``<prefix>.filter.<name>.<metric>`` gauges into counter tracks.
+
+    Returns ``{"<prefix>.<metric>": {"<name>": value, ...}, ...}`` — one
+    Chrome counter track per metric family, one series per filter.
+    """
+    tracks: dict[str, dict] = {}
+    for name, value in sorted(metrics.items()):
+        if isinstance(value, dict) or ".filter." not in name:
+            continue
+        prefix, rest = name.split(".filter.", 1)
+        if "." not in rest:
+            continue
+        filter_name, metric = rest.rsplit(".", 1)
+        tracks.setdefault(f"{prefix}.{metric}", {})[filter_name] = \
+            _jsonable(value)
+    return tracks
+
+
+def to_chrome_trace(roots: list[Span], pid: int | None = None,
+                    metrics: dict[str, object] | None = None) -> dict:
     """Spans as Chrome trace-event JSON (``chrome://tracing`` / Perfetto).
 
     Every span becomes one complete ("X") event with microsecond
-    timestamps relative to the earliest span; process/thread names go in
-    as metadata ("M") records.
+    timestamps relative to the earliest span; process/thread names and
+    sort indices go in as metadata ("M") records.  When a metric
+    snapshot is passed, per-filter gauges (``*.filter.<name>.<metric>``)
+    become counter ("C") tracks — one track per metric family with one
+    series per filter.
     """
     if pid is None:
         pid = os.getpid()
@@ -146,30 +169,50 @@ def to_chrome_trace(roots: list[Span], pid: int | None = None) -> dict:
         "args": {"name": "repro"},
     }]
     threads_seen: set[int] = set()
+    trace_end = 0.0
     for span in _walk(roots):
         if span.thread_id not in threads_seen:
+            # The first thread seen owns the root span — label it "main"
+            # and keep threads in first-seen order in the timeline.
+            order = len(threads_seen)
             threads_seen.add(span.thread_id)
             events.append({
                 "name": "thread_name", "ph": "M", "pid": pid,
                 "tid": span.thread_id,
-                "args": {"name": f"thread-{span.thread_id}"},
+                "args": {"name": "main" if order == 0
+                         else f"thread-{span.thread_id}"},
             })
+            events.append({
+                "name": "thread_sort_index", "ph": "M", "pid": pid,
+                "tid": span.thread_id,
+                "args": {"sort_index": order},
+            })
+        start = (span.start - epoch) * 1e6
+        duration = (span.duration or 0.0) * 1e6
+        trace_end = max(trace_end, start + duration)
         events.append({
             "name": span.name,
             "cat": "repro",
             "ph": "X",
-            "ts": (span.start - epoch) * 1e6,
-            "dur": (span.duration or 0.0) * 1e6,
+            "ts": start,
+            "dur": duration,
             "pid": pid,
             "tid": span.thread_id,
             "args": {key: _jsonable(value)
                      for key, value in span.attrs.items()},
         })
+    if metrics:
+        for track, series in _counter_tracks(metrics).items():
+            events.append({
+                "name": track, "cat": "repro", "ph": "C",
+                "ts": trace_end, "pid": pid, "tid": 0, "args": series,
+            })
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
-def write_chrome_trace(roots: list[Span], path: str | Path) -> Path:
+def write_chrome_trace(roots: list[Span], path: str | Path,
+                       metrics: dict[str, object] | None = None) -> Path:
     """Serialize :func:`to_chrome_trace` to ``path``; returns the path."""
     path = Path(path)
-    path.write_text(json.dumps(to_chrome_trace(roots)))
+    path.write_text(json.dumps(to_chrome_trace(roots, metrics=metrics)))
     return path

@@ -52,9 +52,19 @@ class Gauge:
 
 
 class Histogram:
-    """Running count/sum/min/max summary of observed values."""
+    """Running count/sum/min/max/percentile summary of observed values.
 
-    __slots__ = ("name", "count", "total", "min", "max")
+    Percentiles come from a bounded, deterministic sample reservoir:
+    every ``_stride``-th observation is kept, and when the reservoir
+    exceeds :data:`Histogram.MAX_SAMPLES` it is decimated (every second
+    sample dropped, stride doubled).  The same observation sequence
+    always yields the same percentile estimates.
+    """
+
+    MAX_SAMPLES = 512
+
+    __slots__ = ("name", "count", "total", "min", "max", "_samples",
+                 "_stride")
 
     def __init__(self, name: str):
         self.name = name
@@ -62,8 +72,15 @@ class Histogram:
         self.total = 0.0
         self.min: float | None = None
         self.max: float | None = None
+        self._samples: list[float] = []
+        self._stride = 1
 
     def observe(self, value: float) -> None:
+        if self.count % self._stride == 0:
+            self._samples.append(value)
+            if len(self._samples) > self.MAX_SAMPLES:
+                self._samples = self._samples[::2]
+                self._stride *= 2
         self.count += 1
         self.total += value
         if self.min is None or value < self.min:
@@ -75,10 +92,24 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile (``q`` in [0, 100]) over the reservoir."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = max(0, min(len(ordered) - 1,
+                          round(q / 100.0 * (len(ordered) - 1))))
+        return ordered[rank]
+
     def summary(self) -> dict[str, float]:
-        return {"count": self.count, "total": self.total,
-                "mean": self.mean, "min": self.min or 0.0,
-                "max": self.max or 0.0}
+        out = {"count": self.count, "total": self.total,
+               "mean": self.mean, "min": self.min or 0.0,
+               "max": self.max or 0.0}
+        if self.count:
+            out["p50"] = self.percentile(50)
+            out["p90"] = self.percentile(90)
+            out["p99"] = self.percentile(99)
+        return out
 
 
 class _NullInstrument:

@@ -375,6 +375,12 @@ def _load_key(op: LoadOp, version: int) -> tuple:
 def _dedupe(state: FixpointState, rep: Op, dup: Op) -> None:
     """Replace ``dup`` (dominated) with ``rep`` and erase it."""
     assert rep.result is not None and dup.result is not None
+    # The survivor absorbs the duplicate's provenance set so attribution
+    # still knows every filter the merged computation came from (the
+    # survivor's own provenance stays primary).
+    if dup.prov:
+        rep.prov = rep.prov + tuple(
+            entry for entry in dup.prov if entry not in rep.prov)
     affected, carries = state.index.replace_all_uses(dup.result, rep.result)
     state.note_rewritten(affected, carries)
     state.note_erased(state.index.erase(dup))

@@ -160,9 +160,14 @@ class TestProfile:
         names = {event["name"] for event in events}
         assert "compile" in names and "optimize" in names
         for event in events:
-            assert event["ph"] in ("X", "M")
+            assert event["ph"] in ("X", "M", "C")
             if event["ph"] == "X":
                 assert event["ts"] >= 0 and event["dur"] >= 0
+            if event["ph"] == "C":
+                # Per-filter counter tracks from the metrics registry.
+                assert event["args"]
+                assert all(isinstance(v, (int, float))
+                           for v in event["args"].values())
 
     def test_profile_unknown_target(self, capsys):
         assert main(["profile", "no_such_thing"]) == 1
