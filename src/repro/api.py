@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.backend.common import checksum_outputs
+from repro.faults import limits as faults_limits
 from repro.backend.fifo_c import FifoCodegenOptions, generate_fifo_c
 from repro.backend.laminar_c import generate_laminar_c
 from repro.frontend import parse_and_check
@@ -105,7 +106,8 @@ class CompiledStream:
         cached = self._lowered_cache.get(key)
         if cached is not None:
             return cached
-        with trace.span("lower", stream=self.name):
+        with faults_limits.compile_budget(), \
+                trace.span("lower", stream=self.name):
             with trace.span("lower.lir"):
                 program = lower(self.schedule, self.source, lowering)
             stats = optimize(program, opt)
@@ -168,12 +170,20 @@ class CompiledStream:
 
 def compile_source(source: str,
                    filename: str = "<string>") -> CompiledStream:
-    """Run the full frontend pipeline on ``source``."""
-    with trace.span("compile", file=filename):
+    """Run the full frontend pipeline on ``source``.
+
+    The whole invocation runs under one ``compile_seconds`` wall-clock
+    budget when the ambient :class:`repro.faults.ResourceLimits` sets
+    one (see ``docs/ROBUSTNESS.md``).
+    """
+    with faults_limits.compile_budget(), \
+            trace.span("compile", file=filename):
         with trace.span("parse"):
             ast = parse_and_check(source, filename)
+        faults_limits.check_deadline("elaborate")
         with trace.span("elaborate"):
             root = elaborate(ast)
+        faults_limits.check_deadline("flatten")
         with trace.span("flatten"):
             graph = flatten(root)
         # build_schedule opens its own "schedule" span with sub-stages.

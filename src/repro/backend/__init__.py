@@ -3,12 +3,14 @@
 from repro.backend.common import checksum_outputs
 from repro.backend.fifo_c import FifoCodegenOptions, generate_fifo_c
 from repro.backend.laminar_c import generate_laminar_c
-from repro.backend.runner import (NativeRun, NativeToolchainError,
-                                  compile_and_run, compile_c, find_compiler,
-                                  run_binary)
+from repro.backend.runner import (NativeCompileError, NativeProtocolError,
+                                  NativeRun, NativeRunError,
+                                  NativeToolchainError, compile_and_run,
+                                  compile_c, find_compiler, run_binary)
 
 __all__ = [
-    "FifoCodegenOptions", "NativeRun", "NativeToolchainError", "checksum_outputs",
-    "compile_and_run", "compile_c", "find_compiler", "generate_fifo_c",
-    "generate_laminar_c", "run_binary",
+    "FifoCodegenOptions", "NativeCompileError", "NativeProtocolError",
+    "NativeRun", "NativeRunError", "NativeToolchainError",
+    "checksum_outputs", "compile_and_run", "compile_c", "find_compiler",
+    "generate_fifo_c", "generate_laminar_c", "run_binary",
 ]

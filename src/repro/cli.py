@@ -35,17 +35,36 @@ to stderr after the normal output.  ``run``, ``emit``, ``report`` and
 ``profile`` accept ``--opt-pipeline cp,promote,fold,cse,dce`` (an
 explicit pass ordering) and ``--opt-max-rounds N`` (the fixpoint round
 cap); see ``docs/OPTIMIZER.md``.
+
+Robustness flags (see ``docs/ROBUSTNESS.md``): every compiling command
+accepts ``--limits ops=200000,tokens=4096,solver=200,seconds=30``
+(resource guardrails; merged over ``REPRO_LIMITS``), ``--inject
+cc-timeout:0.3,malformed-stdout:1`` with ``--inject-seed N``
+(deterministic fault injection), and ``--keep-artifacts`` (keep
+``repro_native_*`` build dirs even on success).  ``run`` and ``report``
+take ``--native`` to also build and verify/time the laminar C backend;
+all native paths degrade gracefully to interpreter results when the
+toolchain fails.
+
+Exit codes: 0 success (including graceful degradation), 1 compile
+error / divergence / generic failure, 2 usage error, 3 resource limit
+exhausted, 4 native toolchain failure.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
+import os
 import sys
 from pathlib import Path
 
 from repro.api import (CompiledStream, check_equivalence, compile_file)
+from repro.backend.runner import NativeToolchainError, set_keep_artifacts
 from repro.evaluation import evaluate_stream, format_table
+from repro.faults import (FaultPlan, ResourceExhausted, ResourceLimits,
+                          active_limits, inject, use_limits)
 from repro.frontend.errors import CompileError
 from repro.lir import LoweringOptions
 from repro.machine import PLATFORMS
@@ -91,6 +110,67 @@ def _add_opt_arguments(parser: argparse.ArgumentParser) -> None:
         help="cap the optimizer's fixpoint rounds (default 64)")
 
 
+def _limits_spec(spec: str) -> ResourceLimits:
+    """argparse type for --limits: validate the spec up front."""
+    try:
+        return ResourceLimits.parse(spec)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+
+
+def _inject_spec(spec: str) -> FaultPlan:
+    """argparse type for --inject: validate site names and rates."""
+    try:
+        return FaultPlan.parse(spec)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+
+
+def _add_robustness_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--limits", type=_limits_spec, metavar="SPEC",
+        help="resource guardrails, e.g. 'ops=200000,tokens=4096,"
+             "solver=200,seconds=30' (merged over REPRO_LIMITS; "
+             "see docs/ROBUSTNESS.md)")
+    parser.add_argument(
+        "--inject", type=_inject_spec, metavar="PLAN",
+        help="deterministic fault injection, e.g. "
+             "'cc-timeout:0.3,malformed-stdout:1' (site[:rate] list)")
+    parser.add_argument(
+        "--inject-seed", default="0", metavar="SEED",
+        help="seed for the --inject fault plan (default 0)")
+    parser.add_argument(
+        "--keep-artifacts", action="store_true",
+        help="keep repro_native_* build dirs even on success")
+
+
+def _install_robustness(args: argparse.Namespace,
+                        stack: contextlib.ExitStack) -> None:
+    """Install the ambient limits / fault plan / artifact policy.
+
+    ``--limits`` merges over ``REPRO_LIMITS`` (CLI keys win); ``--inject``
+    wins over ``REPRO_INJECT``/``REPRO_INJECT_SEED``.  May raise
+    ``ValueError`` on a malformed environment spec (the CLI flags are
+    validated by argparse already).
+    """
+    limits = getattr(args, "limits", None)
+    if limits is not None:
+        stack.enter_context(use_limits(active_limits().merged(limits)))
+    plan = getattr(args, "inject", None)
+    if plan is not None:
+        plan.reseed(getattr(args, "inject_seed", "0"))
+    else:
+        spec = os.environ.get("REPRO_INJECT")
+        if spec:
+            plan = FaultPlan.parse(
+                spec, seed=os.environ.get("REPRO_INJECT_SEED", "0"))
+    if plan is not None:
+        stack.enter_context(inject(plan))
+    if getattr(args, "keep_artifacts", False):
+        set_keep_artifacts(True)
+        stack.callback(set_keep_artifacts, None)
+
+
 def _notice_nonconvergence(stream: CompiledStream,
                            lowering: LoweringOptions | None = None,
                            opt: OptOptions | None = None) -> None:
@@ -128,6 +208,21 @@ def cmd_run(args: argparse.Namespace) -> int:
           f"memory: {fifo.memory_accesses / args.iterations:.0f} -> "
           f"{laminar.memory_accesses / args.iterations:.0f}",
           file=sys.stderr)
+    if getattr(args, "native", False):
+        from repro.faults import degrade
+        attempt = degrade.native_or_fallback(
+            stream.laminar_c(lowering, opt), args.iterations,
+            name=stream.name, where="run --native",
+            log=lambda message: print(message, file=sys.stderr))
+        if not attempt.degraded:
+            assert attempt.run is not None
+            if attempt.run.checksum != report.checksum:
+                print(f"error: native checksum "
+                      f"{attempt.run.checksum:016x} != interpreter "
+                      f"{report.checksum:016x}", file=sys.stderr)
+                return 1
+            print(f"# native: checksum verified, "
+                  f"{attempt.run.seconds:.3f}s", file=sys.stderr)
     return 0
 
 
@@ -179,10 +274,20 @@ def cmd_report(args: argparse.Namespace) -> int:
     lowering, opt = _options(args)
     record = evaluate_stream(args.name, stream,
                              iterations=args.iterations,
-                             lowering=lowering, opt=opt)
+                             lowering=lowering, opt=opt,
+                             native=getattr(args, "native", False))
     _notice_nonconvergence(stream, lowering, opt)
     print(f"benchmark: {args.name} — {BENCHMARKS[args.name].description}")
     print(f"outputs match: {record.outputs_match}")
+    if getattr(args, "native", False):
+        if record.degraded:
+            reason = (record.degraded_reason or "").splitlines()
+            print("notice: native toolchain unavailable "
+                  f"({reason[0] if reason else 'unknown'}); reporting "
+                  "interpreter-only results", file=sys.stderr)
+        elif record.native_seconds is not None:
+            print(f"native run time: {record.native_seconds:.3f}s "
+                  f"({args.iterations} iterations)")
     print(f"data communication: -{record.comm.reduction * 100:.1f}%")
     print(f"memory accesses:    -{record.memory_reduction * 100:.1f}% "
           "(counted)")
@@ -268,10 +373,11 @@ def cmd_profile(args: argparse.Namespace) -> int:
                                    lowering=lowering, opt=opt)
         native_table = None
         if getattr(args, "native", False):
-            native_table = _native_profile(stream, lowering, opt,
-                                           args.iterations)
-            if native_table is None:
-                return 1
+            native_table, native_code = _native_profile(stream, lowering,
+                                                        opt,
+                                                        args.iterations)
+            if native_code != 0:
+                return native_code
         roots = obs_trace.get_trace()
         metric_values = obs_metrics.registry().as_dict()
         if args.chrome_trace:
@@ -302,18 +408,23 @@ def cmd_profile(args: argparse.Namespace) -> int:
 
 
 def _native_profile(stream: CompiledStream, lowering: LoweringOptions,
-                    opt: OptOptions, iterations: int) -> str | None:
-    """Run the laminar C backend plain and instrumented; return a table.
+                    opt: OptOptions, iterations: int
+                    ) -> tuple[str | None, int]:
+    """Run the laminar C backend plain and instrumented.
 
     Compiles the program twice — uninstrumented and with
     ``REPRO_PROFILE`` — asserts the outputs are bit-exact, publishes the
     parsed per-filter timings into the metrics registry (so they reach
     the text/JSON/Chrome-trace exporters), and renders the per-filter
-    native table.  Returns ``None`` (after printing the error) when no
-    toolchain is available or the instrumented run diverges.
+    native table.  Returns ``(table, 0)`` on success, ``(None, 0)`` when
+    the toolchain failed (graceful degradation: the interpreter profile
+    still prints), and ``(None, 1)`` when the instrumented build
+    diverged or violated the profile protocol.  A failure of the
+    generated *binary* propagates as :class:`NativeToolchainError`.
     """
     from repro.backend.laminar_c import generate_laminar_c
-    from repro.backend.runner import NativeToolchainError, compile_and_run
+    from repro.backend.runner import NativeCompileError, compile_and_run
+    from repro.faults import degrade
 
     program = stream.lower(lowering, opt).program
     try:
@@ -322,19 +433,21 @@ def _native_profile(stream: CompiledStream, lowering: LoweringOptions,
         profiled = compile_and_run(
             generate_laminar_c(program, profile=True), iterations,
             name="laminar_profiled")
-    except NativeToolchainError as error:
-        print(f"error: native profiling unavailable: {error}",
-              file=sys.stderr)
-        return None
+    except NativeCompileError as error:
+        degrade.record_fallback("profile --native", str(error))
+        print(f"notice: native toolchain unavailable "
+              f"({str(error).splitlines()[0]}); printing interpreter "
+              "profile only", file=sys.stderr)
+        return None, 0
     if plain.checksum != profiled.checksum:
         print(f"error: instrumented binary diverged from plain build "
               f"(checksum {profiled.checksum:016x} != "
               f"{plain.checksum:016x})", file=sys.stderr)
-        return None
+        return None, 1
     if not profiled.profile:
         print("error: instrumented binary emitted no profile-json line",
               file=sys.stderr)
-        return None
+        return None, 1
     iters = max(profiled.profile.get("iterations", iterations), 1)
     filters = profiled.profile.get("filters", [])
     total_ns = sum(entry["ns"] for entry in filters) or 1.0
@@ -362,7 +475,7 @@ def _native_profile(stream: CompiledStream, lowering: LoweringOptions,
          "% time"], rows,
         title=f"native per-filter profile ({iters} iterations, "
               f"checksum {profiled.checksum:016x}, bit-exact vs "
-              "uninstrumented)")
+              "uninstrumented)"), 0
 
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
@@ -378,9 +491,10 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         if finding.shrunk_source is not None:
             print(finding.shrunk_source)
     print(f"# fuzz: {result.programs} programs from seed {args.seed}, "
-          f"{result.skipped} skipped, {len(result.findings)} "
-          f"divergence(s), {len(result.features)} generator features "
-          "covered", file=sys.stderr)
+          f"{result.skipped} skipped, {result.degraded} degraded, "
+          f"{len(result.findings)} divergence(s), "
+          f"{len(result.features)} generator features covered",
+          file=sys.stderr)
     return 1 if result.findings else 0
 
 
@@ -412,8 +526,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--no-opt", action="store_true",
                      help="disable the optimizer")
     _add_opt_arguments(run)
+    run.add_argument("--native", action="store_true",
+                     help="also build and run the laminar C backend, "
+                          "verifying its checksum (degrades gracefully "
+                          "when no toolchain is available)")
     run.add_argument("--trace", action="store_true",
                      help="print the pipeline span tree to stderr")
+    _add_robustness_arguments(run)
     run.set_defaults(func=cmd_run)
 
     emit = sub.add_parser("emit", help="print lowered/generated code")
@@ -423,6 +542,7 @@ def build_parser() -> argparse.ArgumentParser:
     emit.add_argument("--no-elim", action="store_true")
     emit.add_argument("--no-opt", action="store_true")
     _add_opt_arguments(emit)
+    _add_robustness_arguments(emit)
     emit.set_defaults(func=cmd_emit)
 
     graph = sub.add_parser("graph", help="print the flat stream graph")
@@ -440,8 +560,13 @@ def build_parser() -> argparse.ArgumentParser:
                              "table (ops before/after opt, steady share, "
                              "tokens moved)")
     _add_opt_arguments(report)
+    report.add_argument("--native", action="store_true",
+                        help="also build and time the laminar C backend "
+                             "(degrades gracefully when no toolchain is "
+                             "available)")
     report.add_argument("--trace", action="store_true",
                         help="print the pipeline span tree to stderr")
+    _add_robustness_arguments(report)
     report.set_defaults(func=cmd_report)
 
     profile = sub.add_parser(
@@ -462,6 +587,7 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--no-elim", action="store_true")
     profile.add_argument("--no-opt", action="store_true")
     _add_opt_arguments(profile)
+    _add_robustness_arguments(profile)
     profile.set_defaults(func=cmd_profile)
 
     fuzz = sub.add_parser(
@@ -481,6 +607,7 @@ def build_parser() -> argparse.ArgumentParser:
                            "(e.g. tests/fuzz_corpus)")
     fuzz.add_argument("--trace", action="store_true",
                       help="print the pipeline span tree to stderr")
+    _add_robustness_arguments(fuzz)
     fuzz.set_defaults(func=cmd_fuzz)
 
     lst = sub.add_parser("list", help="list the benchmark suite")
@@ -503,13 +630,31 @@ def main(argv: list[str] | None = None) -> int:
     if want_trace:
         obs_trace.enable()
     try:
-        code = args.func(args)
+        with contextlib.ExitStack() as stack:
+            try:
+                _install_robustness(args, stack)
+            except ValueError as error:
+                # A malformed REPRO_LIMITS/REPRO_INJECT environment spec
+                # (the CLI flags are validated by argparse, which exits 2
+                # on its own — keep the codes aligned).
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+            code = args.func(args)
         if want_trace:
             _print_trace(sys.stderr)
         return code
+    except ResourceExhausted as error:
+        # One line, structured: resource, limit, actual, provenance.
+        print(f"error: resource exhausted: {error.message}",
+              file=sys.stderr)
+        return 3
     except CompileError as error:
         print(error.format(), file=sys.stderr)
         return 1
+    except NativeToolchainError as error:
+        print(f"error: native {error.stage} failure: {error}",
+              file=sys.stderr)
+        return 4
     except FileNotFoundError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

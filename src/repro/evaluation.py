@@ -34,6 +34,13 @@ class BenchmarkEvaluation:
     # Optimizer statistics of the lowered program (per-pass counts,
     # fixpoint rounds, optimize wall time) — the report command's table.
     opt_stats: OptStats | None = None
+    # Measured native wall-clock seconds (``evaluate_stream(native=True)``)
+    # or ``None`` when native was off or the toolchain failed; in the
+    # latter case ``degraded`` is set and ``degraded_reason`` says why
+    # (see docs/ROBUSTNESS.md).
+    native_seconds: float | None = None
+    degraded: bool = False
+    degraded_reason: str | None = None
 
     # -- derived metrics ------------------------------------------------------
 
@@ -98,8 +105,15 @@ class BenchmarkEvaluation:
 
 def evaluate_stream(name: str, stream: CompiledStream, iterations: int = 8,
                     lowering: LoweringOptions | None = None,
-                    opt: OptOptions | None = None) -> BenchmarkEvaluation:
-    """Evaluate an already-compiled stream program."""
+                    opt: OptOptions | None = None,
+                    native: bool = False) -> BenchmarkEvaluation:
+    """Evaluate an already-compiled stream program.
+
+    ``native=True`` additionally builds and times the LaminarIR C backend;
+    when the toolchain fails the record degrades gracefully to
+    interpreter-only results (``degraded``/``degraded_reason`` set,
+    ``native_seconds`` left ``None``) instead of raising.
+    """
     with trace.span("evaluate", benchmark=name, iterations=iterations):
         fifo = stream.run_fifo(iterations)
         laminar = stream.run_laminar(iterations, lowering, opt)
@@ -107,11 +121,22 @@ def evaluate_stream(name: str, stream: CompiledStream, iterations: int = 8,
         with trace.span("evaluate.spills"):
             spills = {model.name: estimate_spills(lowered.program, model)
                       for model in PLATFORMS.values()}
-        return BenchmarkEvaluation(
+        evaluation = BenchmarkEvaluation(
             name=name, stats=stream.stats(), comm=stream.communication(),
             iterations=iterations, fifo=fifo, laminar=laminar,
             outputs_match=fifo.outputs == laminar.outputs, spills=spills,
             opt_stats=lowered.opt_stats)
+        if native:
+            from repro.faults import degrade
+            attempt = degrade.native_or_fallback(
+                stream.laminar_c(lowering, opt), iterations,
+                name=name, where=f"evaluate[{name}]")
+            if attempt.degraded:
+                evaluation.degraded = True
+                evaluation.degraded_reason = attempt.reason
+            elif attempt.run is not None:
+                evaluation.native_seconds = attempt.run.seconds
+        return evaluation
 
 
 def evaluate_benchmark(name: str, iterations: int = 8,

@@ -1,0 +1,39 @@
+"""Robustness layer: resource guardrails and deterministic fault injection.
+
+LaminarIR trades run-time buffers for compile-time unrolling, which makes
+the *compiler* the component that can blow up: a hostile or fuzz-generated
+spec can explode the steady-state unroll, and the native harness (``cc``
+subprocess → binary subprocess → stderr side-channel) fails in ways that
+must degrade gracefully rather than hang, leak or mis-report.
+
+Three cooperating pieces (see ``docs/ROBUSTNESS.md``):
+
+* :mod:`repro.faults.limits` — a :class:`ResourceLimits` config (max
+  unrolled ops, max steady tokens per channel, max solver iterations,
+  compile wall-clock budget) enforced across scheduling, lowering and the
+  optimizer; violations raise the structured :class:`ResourceExhausted`
+  diagnostic instead of OOM-ing or hanging.
+* :mod:`repro.faults.plan` — a seeded :class:`FaultPlan` that
+  deterministically injects failures at every native-harness seam
+  (``--inject cc-timeout:0.3,malformed-stdout:1``), so every error path
+  is testable without a hostile machine.
+* :mod:`repro.faults.degrade` — the native→interpreter fallback used by
+  ``run``/``report``/``profile --native`` and the fuzz driver, recording
+  a ``native.fallback`` counter/span in :mod:`repro.obs`.
+
+This module deliberately re-exports only :mod:`limits` and :mod:`plan`;
+:mod:`repro.faults.degrade` imports the native runner (which itself
+consults the fault plan), so it is imported lazily by its consumers.
+"""
+
+from repro.faults.limits import (ResourceExhausted, ResourceLimits,
+                                 active_limits, check_deadline,
+                                 compile_budget, use_limits)
+from repro.faults.plan import (FAULT_SITES, FaultPlan, current_plan,
+                               inject)
+
+__all__ = [
+    "FAULT_SITES", "FaultPlan", "ResourceExhausted", "ResourceLimits",
+    "active_limits", "check_deadline", "compile_budget", "current_plan",
+    "inject", "use_limits",
+]

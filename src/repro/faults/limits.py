@@ -1,0 +1,210 @@
+"""Resource guardrails: bounded compilation instead of OOM or hang.
+
+A :class:`ResourceLimits` bundle caps the quantities that a hostile or
+fuzz-generated spec can blow up:
+
+* ``max_unrolled_ops`` — LaminarIR ops emitted while unrolling the
+  schedule (checked per firing in :mod:`repro.lir.lower`).
+* ``max_steady_tokens_per_channel`` — tokens crossing any one channel in
+  one steady iteration (checked right after the balance solver, before
+  any schedule is unrolled).
+* ``max_solver_iterations`` — iterations of the balance solver and the
+  init-schedule demand fixpoint in :mod:`repro.scheduling`.
+* ``compile_seconds`` — a wall-clock budget for one compile stage
+  (frontend+schedule, or lower+optimize), checked at loop boundaries.
+
+Limits are ambient: the CLI installs them via :func:`use_limits` (from
+``--limits`` or the ``REPRO_LIMITS`` environment variable) and the
+pipeline reads them back through :func:`active_limits`.  A violation
+raises :class:`ResourceExhausted` — a :class:`CompileError` subclass with
+a dedicated ``kind`` plus structured ``resource``/``limit``/``actual``/
+``where`` fields, so the CLI can map it to its own exit code (3) and the
+fuzz oracle treats it like any other structured compile diagnostic.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, fields, replace
+from typing import Iterator
+
+from repro.frontend.errors import (CompileError, SourceLocation,
+                                   UNKNOWN_LOCATION)
+
+__all__ = ["ResourceExhausted", "ResourceLimits", "active_limits",
+           "check_deadline", "compile_budget", "use_limits"]
+
+
+class ResourceExhausted(CompileError):
+    """A resource limit was hit; compilation stopped instead of blowing up.
+
+    ``where`` carries the provenance of the offending construct (the
+    filter being lowered, the channel that overflows, the solver stage).
+    """
+
+    kind = "resource exhausted"
+
+    def __init__(self, resource: str, limit: float, actual: float,
+                 where: str = "", detail: str = "",
+                 loc: SourceLocation = UNKNOWN_LOCATION,
+                 source: str | None = None):
+        self.resource = resource
+        self.limit = limit
+        self.actual = actual
+        self.where = where
+        message = f"{resource} limit exceeded ({_fmt(actual)} > " \
+                  f"{_fmt(limit)})"
+        if where:
+            message += f" in {where}"
+        if detail:
+            message += f"; {detail}"
+        super().__init__(message, loc, source)
+
+
+def _fmt(value: float) -> str:
+    return str(int(value)) if float(value).is_integer() else f"{value:g}"
+
+
+# --limits / REPRO_LIMITS key aliases → dataclass field names.
+_ALIASES = {
+    "ops": "max_unrolled_ops",
+    "max_unrolled_ops": "max_unrolled_ops",
+    "tokens": "max_steady_tokens_per_channel",
+    "max_steady_tokens_per_channel": "max_steady_tokens_per_channel",
+    "solver": "max_solver_iterations",
+    "max_solver_iterations": "max_solver_iterations",
+    "seconds": "compile_seconds",
+    "compile_seconds": "compile_seconds",
+}
+
+
+@dataclass(frozen=True)
+class ResourceLimits:
+    """Caps on compile-time resource use; ``None`` means unlimited."""
+
+    max_unrolled_ops: int | None = None
+    max_steady_tokens_per_channel: int | None = None
+    max_solver_iterations: int | None = None
+    compile_seconds: float | None = None
+
+    @classmethod
+    def parse(cls, spec: str) -> "ResourceLimits":
+        """Parse ``"ops=200000,tokens=4096,solver=200,seconds=30"``.
+
+        Raises ``ValueError`` on an unknown key or a non-numeric /
+        negative value, so the CLI can reject the spec up front.
+        """
+        values: dict[str, int | float] = {}
+        for item in spec.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            key, sep, raw = item.partition("=")
+            if not sep:
+                raise ValueError(
+                    f"bad resource limit {item!r}: expected key=value")
+            field_name = _ALIASES.get(key.strip())
+            if field_name is None:
+                known = ", ".join(sorted(set(_ALIASES)))
+                raise ValueError(
+                    f"unknown resource limit {key.strip()!r}; "
+                    f"known keys: {known}")
+            try:
+                value = (float(raw) if field_name == "compile_seconds"
+                         else int(raw))
+            except ValueError:
+                raise ValueError(
+                    f"bad value for resource limit {key.strip()!r}: "
+                    f"{raw!r}") from None
+            if value < 0:
+                raise ValueError(
+                    f"resource limit {key.strip()!r} must be >= 0, "
+                    f"got {raw}")
+            values[field_name] = value
+        return cls(**values)  # type: ignore[arg-type]
+
+    def merged(self, other: "ResourceLimits") -> "ResourceLimits":
+        """``other``'s set fields override ``self``'s."""
+        overrides = {f.name: getattr(other, f.name) for f in fields(other)
+                     if getattr(other, f.name) is not None}
+        return replace(self, **overrides)
+
+
+_UNLIMITED = ResourceLimits()
+
+# Ambient state: the installed limits (``use_limits``) win over the
+# REPRO_LIMITS environment variable; the parsed env spec is memoized on
+# its string value so hot paths can call ``active_limits`` freely.
+_installed: ResourceLimits | None = None
+_env_cache: tuple[str | None, ResourceLimits] = (None, _UNLIMITED)
+
+
+def active_limits() -> ResourceLimits:
+    """The limits in effect: installed > ``REPRO_LIMITS`` env > unlimited."""
+    if _installed is not None:
+        return _installed
+    spec = os.environ.get("REPRO_LIMITS")
+    global _env_cache
+    if _env_cache[0] != spec:
+        parsed = ResourceLimits.parse(spec) if spec else _UNLIMITED
+        _env_cache = (spec, parsed)
+    return _env_cache[1]
+
+
+@contextmanager
+def use_limits(limits: ResourceLimits) -> Iterator[ResourceLimits]:
+    """Install ``limits`` as the ambient configuration for a scope."""
+    global _installed
+    previous = _installed
+    _installed = limits
+    try:
+        yield limits
+    finally:
+        _installed = previous
+
+
+# -- wall-clock budget --------------------------------------------------------
+
+# (deadline, budget_seconds) of the innermost active compile budget.
+_deadline: tuple[float, float] | None = None
+
+
+@contextmanager
+def compile_budget() -> Iterator[None]:
+    """Start the wall-clock budget for one compile stage, if configured.
+
+    Nested stages share the outermost deadline (one budget covers the
+    whole ``compile_source`` or ``CompiledStream.lower`` invocation that
+    opened it); without a ``compile_seconds`` limit this is free.
+    """
+    global _deadline
+    if _deadline is not None:
+        yield
+        return
+    budget = active_limits().compile_seconds
+    if budget is None:
+        yield
+        return
+    _deadline = (time.monotonic() + budget, budget)
+    try:
+        yield
+    finally:
+        _deadline = None
+
+
+def check_deadline(where: str) -> None:
+    """Raise :class:`ResourceExhausted` when the stage budget is spent.
+
+    Called at loop boundaries of every potentially unbounded stage
+    (schedule fixpoints, per-firing lowering, optimizer rounds).
+    """
+    if _deadline is None:
+        return
+    deadline, budget = _deadline
+    now = time.monotonic()
+    if now > deadline:
+        raise ResourceExhausted(
+            "compile_seconds", budget, round(budget + now - deadline, 3),
+            where=where, detail="compile wall-clock budget exhausted")

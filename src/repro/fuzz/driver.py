@@ -41,6 +41,9 @@ class CampaignResult:
     master_seed: int | str
     programs: int = 0
     skipped: int = 0
+    # Programs whose native routes fell back to the interpreter verdict
+    # because the toolchain failed (see docs/ROBUSTNESS.md).
+    degraded: int = 0
     findings: list[FuzzFinding] = field(default_factory=list)
     features: set[str] = field(default_factory=set)
 
@@ -99,6 +102,9 @@ def fuzz_campaign(seed: int | str = 0, runs: int = 100,
                                     native=native)
             obs_metrics.counter("fuzz.programs").inc()
             result.programs += 1
+            if report.degraded is not None:
+                obs_metrics.counter("fuzz.degraded").inc()
+                result.degraded += 1
             if report.skipped is not None:
                 obs_metrics.counter("fuzz.skipped").inc()
                 result.skipped += 1

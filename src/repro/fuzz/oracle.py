@@ -21,8 +21,10 @@ import struct
 from dataclasses import dataclass
 
 from repro.api import compile_source
-from repro.backend.runner import (NativeToolchainError, compile_and_run,
-                                  find_compiler)
+from repro.backend.runner import (NativeCompileError, NativeToolchainError,
+                                  compile_and_run, find_compiler)
+from repro.faults import degrade
+from repro.faults.limits import ResourceExhausted
 from repro.frontend.errors import CompileError
 from repro.lir import LoweringOptions
 from repro.obs import trace
@@ -60,6 +62,9 @@ class OracleReport:
     divergence: Divergence | None
     skipped: str | None = None
     output_count: int = 0
+    # Set when the native routes were requested but fell back to the
+    # interpreter verdict because the toolchain failed (not the program).
+    degraded: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -108,6 +113,12 @@ def run_source(source: str, iterations: int = 4,
     with trace.span("fuzz.oracle", iterations=iterations) as span:
         try:
             stream = compile_source(source, "<fuzz>")
+        except ResourceExhausted as error:
+            # A guardrail fired: policy, not a compiler bug — skip the
+            # program like an oversized schedule rather than flag it.
+            span.annotate(outcome="resource-exhausted")
+            return OracleReport(None, skipped=f"resource exhausted: "
+                                              f"{error.message}")
         except CompileError as error:
             span.annotate(outcome="compile-error")
             return OracleReport(Divergence(
@@ -124,9 +135,23 @@ def run_source(source: str, iterations: int = 4,
             divergences — only *disagreement* between routes is."""
             try:
                 return runner(), None
+            except ResourceExhausted:
+                # Guardrails fire during lowering too (op/time budgets):
+                # let the skip handler below classify the whole program.
+                raise
             except (CompileError, ValueError) as error:
                 return None, f"{type(error).__name__}: {error}"
 
+        try:
+            return _run_routes(stream, iterations, native, span, _attempt)
+        except ResourceExhausted as error:
+            span.annotate(outcome="resource-exhausted")
+            return OracleReport(None, skipped=f"resource exhausted: "
+                                              f"{error.message}")
+
+
+def _run_routes(stream, iterations: int, native: bool, span,
+                _attempt) -> OracleReport:
         fifo, fifo_error = _attempt(lambda: stream.run_fifo(iterations))
         routes = (
             ("laminar-interp",
@@ -174,6 +199,7 @@ def run_source(source: str, iterations: int = 4,
             span.annotate(outcome=divergence.kind)
             return OracleReport(divergence)
 
+        degraded: str | None = None
         if native and find_compiler() is not None:
             reference = [int(v) if isinstance(v, bool) else v
                          for v in fifo.outputs]
@@ -182,7 +208,19 @@ def run_source(source: str, iterations: int = 4,
                 try:
                     run = compile_and_run(code, iterations,
                                           print_outputs=True, name="fuzz")
+                except NativeCompileError as error:
+                    # A broken toolchain is an environment fault, not a
+                    # finding: degrade to the interpreter-only verdict
+                    # (already reached above) and skip the native routes.
+                    degrade.record_fallback(f"fuzz.oracle[{name}]",
+                                            str(error))
+                    degraded = f"{name}: {type(error).__name__}: {error}"
+                    span.annotate(degraded=name)
+                    break
                 except NativeToolchainError as error:
+                    # The *binary* misbehaved (crash, timeout, protocol
+                    # violation): that is a finding about the generated
+                    # code, reported as a divergence.
                     divergence = Divergence(
                         kind="native-error", route=name,
                         detail=f"{type(error).__name__}: {error}")
@@ -195,4 +233,5 @@ def run_source(source: str, iterations: int = 4,
                     return OracleReport(divergence)
 
         span.annotate(outcome="ok", outputs=len(fifo.outputs))
-        return OracleReport(None, output_count=len(fifo.outputs))
+        return OracleReport(None, output_count=len(fifo.outputs),
+                            degraded=degraded)

@@ -18,6 +18,8 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 
+from repro.faults import limits as faults_limits
+from repro.faults.limits import ResourceExhausted
 from repro.frontend.errors import LoweringError, SourceLocation
 from repro.frontend.types import BOOLEAN, FLOAT, INT, ScalarType
 from repro.graph.nodes import (Channel, FilterVertex, FlatGraph,
@@ -130,6 +132,11 @@ class Lowerer:
         self.graph: FlatGraph = schedule.graph
         self.source = source
         self.options = options or LoweringOptions()
+        # Ambient resource guardrails (docs/ROBUSTNESS.md): the op cap is
+        # checked per firing so the diagnostic can name the filter whose
+        # unroll blew the budget, with structured ResourceExhausted
+        # typing (the Emitter's own op_limit stays a LoweringError).
+        self.limits = faults_limits.active_limits()
         self.emitter = Emitter(op_limit=self.options.op_limit)
         self.program = Program(name=self.graph.name)
         self.queues: dict[str, deque[Value]] = {}
@@ -160,6 +167,7 @@ class Lowerer:
         for vertex in self.graph.topological_order():
             if isinstance(vertex, FilterVertex):
                 self._setup_filter(vertex)
+                self._check_budget(vertex, "setup")
 
         for executor in self.executors.values():
             executor.invalidate_field_caches()
@@ -167,6 +175,7 @@ class Lowerer:
         self.emitter.set_block(self.program.init)
         for firing in self.schedule.init:
             self._fire(firing)
+            self._check_budget(firing.vertex, "init")
 
         self._capture_carries()
 
@@ -178,6 +187,7 @@ class Lowerer:
         for _ in range(self.options.steady_multiplier):
             for firing in self.schedule.steady:
                 self._fire(firing)
+                self._check_budget(firing.vertex, "steady")
         self._counting = False
         self._capture_nexts()
 
@@ -217,6 +227,15 @@ class Lowerer:
         return FieldCell(slot=slot, dims=dims)
 
     # -- firings ---------------------------------------------------------------------
+
+    def _check_budget(self, vertex: Vertex, phase: str) -> None:
+        cap = self.limits.max_unrolled_ops
+        if cap is not None and self.emitter.emitted > cap:
+            raise ResourceExhausted(
+                "max_unrolled_ops", cap, self.emitter.emitted,
+                where=f"filter {vertex.name!r} ({phase} phase)")
+        faults_limits.check_deadline(
+            f"lowering {vertex.name} ({phase} phase)")
 
     def _fire(self, firing: Firing) -> None:
         vertex = firing.vertex

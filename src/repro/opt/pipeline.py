@@ -26,6 +26,8 @@ import time
 import warnings
 from dataclasses import dataclass, field
 
+from repro.faults import limits as faults_limits
+from repro.faults import plan as fault_plan
 from repro.lir.analysis import ProgramIndex
 from repro.lir.program import Program
 from repro.lir.verify import verify_index
@@ -371,6 +373,7 @@ class PassManager:
             if state.dce_all:
                 self._STEPS["dead_code_elimination"](self, None)
         for round_index in range(self._max_rounds()):
+            faults_limits.check_deadline("optimizer fixpoint round")
             self.stats.fixpoint_rounds += 1
             changed = 0
             for step in steps:
@@ -383,6 +386,7 @@ class PassManager:
 
     def run(self) -> OptStats:
         started = time.perf_counter()
+        faults_limits.check_deadline("optimizer pipeline")
         pipeline = self.options.resolved_pipeline()
         if "dead_code_elimination" in pipeline and self._max_rounds() > 0:
             # Index-free pre-prune: drop transitively dead ops before any
@@ -427,6 +431,11 @@ def optimize(program: Program,
     with trace.span("optimize", program=program.name) as span:
         manager = PassManager(program, options)
         stats = manager.run()
+        if fault_plan.current_plan().should_fire("opt-nonconverge"):
+            # Injected seam: simulate giving up before a fixpoint so the
+            # whole non-convergence reporting path (warning, metric, CLI
+            # notice) is exercisable deterministically.
+            stats.converged = False
         obs_metrics.gauge("opt.fixpoint_rounds").set(stats.fixpoint_rounds)
         if not stats.converged:
             obs_metrics.counter("opt.nonconvergent").inc()

@@ -15,19 +15,32 @@ from __future__ import annotations
 from fractions import Fraction
 from math import gcd
 
+from repro.faults.limits import ResourceExhausted
 from repro.frontend.errors import RateError
 from repro.graph.nodes import FlatGraph, Vertex
 
 
-def repetition_vector(graph: FlatGraph) -> dict[Vertex, int]:
-    """Compute the minimal steady-state repetition vector of ``graph``."""
+def repetition_vector(graph: FlatGraph,
+                      max_iterations: int | None = None
+                      ) -> dict[Vertex, int]:
+    """Compute the minimal steady-state repetition vector of ``graph``.
+
+    ``max_iterations`` caps the solver's worklist (the
+    ``max_solver_iterations`` resource guardrail).
+    """
     if not graph.vertices:
         raise RateError("cannot schedule an empty graph")
     ratio: dict[Vertex, Fraction] = {}
     start = graph.vertices[0]
     ratio[start] = Fraction(1)
     worklist = [start]
+    iterations = 0
     while worklist:
+        iterations += 1
+        if max_iterations is not None and iterations > max_iterations:
+            raise ResourceExhausted(
+                "max_solver_iterations", max_iterations, iterations,
+                where="balance solver (repetition vector)")
         vertex = worklist.pop()
         for channel in list(vertex.outputs) + list(vertex.inputs):
             if channel is None:

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.faults import limits as faults_limits
+from repro.faults.limits import ResourceExhausted
 from repro.frontend.errors import ScheduleError
 from repro.graph.nodes import (Channel, FilterVertex, FlatGraph, Vertex)
 from repro.obs import metrics as obs_metrics
@@ -112,7 +114,29 @@ class _Simulator:
                 and self.fired[vertex] == 0)
 
 
-def _init_counts(graph: FlatGraph, order: list[Vertex]) -> dict[Vertex, int]:
+def _check_steady_tokens(graph: FlatGraph, reps: dict[Vertex, int],
+                         cap: int | None) -> None:
+    """Enforce ``max_steady_tokens_per_channel`` before any unrolling.
+
+    This is the earliest point where the per-iteration traffic is known
+    exactly: LaminarIR names every steady token individually, so a
+    channel moving millions of tokens per iteration would explode the
+    unroll long before the op limit triggers.
+    """
+    if cap is None:
+        return
+    for channel in graph.channels:
+        produced = reps[channel.src] * channel.src.push_rate(
+            channel.src_port)
+        if produced > cap:
+            raise ResourceExhausted(
+                "max_steady_tokens_per_channel", cap, produced,
+                where=f"channel {channel.name} ({channel.src.name} -> "
+                      f"{channel.dst.name})")
+
+
+def _init_counts(graph: FlatGraph, order: list[Vertex],
+                 max_passes: int | None = None) -> dict[Vertex, int]:
     """How many times each vertex fires during initialization.
 
     Demand-driven fixpoint over reverse topological order.  ``extra(v)``
@@ -185,7 +209,9 @@ def _init_counts(graph: FlatGraph, order: list[Vertex]) -> dict[Vertex, int]:
                     f"init demand on {vertex.name} diverges")
         return firings
 
-    for _ in range(_FIXPOINT_LIMIT):
+    limit = max_passes if max_passes is not None else _FIXPOINT_LIMIT
+    for _ in range(limit):
+        faults_limits.check_deadline("init schedule fixpoint")
         changed = False
         for vertex in reversed(order):
             for channel in vertex.inputs:
@@ -201,8 +227,12 @@ def _init_counts(graph: FlatGraph, order: list[Vertex]) -> dict[Vertex, int]:
                     changed = True
         if not changed:
             return counts
+    if max_passes is not None:
+        raise ResourceExhausted(
+            "max_solver_iterations", limit, limit + 1,
+            where="init schedule demand fixpoint")
     raise ScheduleError("initialization demands did not converge "
-                        f"after {_FIXPOINT_LIMIT} passes (deadlock?)")
+                        f"after {limit} passes (deadlock?)")
 
 
 def _sequence(sim: _Simulator, order: list[Vertex],
@@ -211,6 +241,7 @@ def _sequence(sim: _Simulator, order: list[Vertex],
     firings: list[Firing] = []
     total = sum(remaining.values())
     while total > 0:
+        faults_limits.check_deadline(f"{what} schedule construction")
         progressed = False
         for vertex in order:
             while remaining[vertex] > 0:
@@ -232,14 +263,19 @@ def _sequence(sim: _Simulator, order: list[Vertex],
 
 def build_schedule(graph: FlatGraph) -> Schedule:
     """Compute the init and steady schedules of ``graph``."""
+    limits = faults_limits.active_limits()
     with trace.span("schedule", graph=graph.name) as span:
         with trace.span("schedule.repetition_vector"):
-            reps = repetition_vector(graph)
+            reps = repetition_vector(
+                graph, max_iterations=limits.max_solver_iterations)
+        _check_steady_tokens(graph, reps,
+                             limits.max_steady_tokens_per_channel)
         order = graph.topological_order()
         sim = _Simulator(graph)
 
         with trace.span("schedule.init"):
-            init_counts = _init_counts(graph, order)
+            init_counts = _init_counts(
+                graph, order, max_passes=limits.max_solver_iterations)
             init = _sequence(sim, order, dict(init_counts), "init")
         post_init = dict(sim.tokens)
 

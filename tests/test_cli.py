@@ -295,3 +295,73 @@ class TestOptPipelineFlags:
         captured = capsys.readouterr()
         assert "notice: optimizer did not reach a fixpoint" in captured.err
         assert "0 fixpoint round(s), gave up" in captured.out
+
+
+class TestExitCodes:
+    """Every ``except`` branch in ``main`` maps to a documented exit code
+    (docs/ROBUSTNESS.md), checked end to end through a real subprocess so
+    no in-process state can mask a raw traceback."""
+
+    def cli(self, *argv, env_extra=None):
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        repo = Path(__file__).resolve().parent.parent
+        env = {**os.environ, "PYTHONPATH": str(repo / "src")}
+        if env_extra:
+            env.update(env_extra)
+        return subprocess.run([sys.executable, "-m", "repro", *argv],
+                              env=env, cwd=repo, capture_output=True,
+                              text=True, timeout=120)
+
+    def test_success_is_zero(self, tiny_file):
+        proc = self.cli("run", tiny_file, "-n", "2", "--quiet")
+        assert proc.returncode == 0
+
+    def test_missing_file_is_one(self):
+        proc = self.cli("run", "/does/not/exist.str")
+        assert proc.returncode == 1
+        assert "error" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    def test_compile_error_is_one(self, tmp_path):
+        path = tmp_path / "bad.str"
+        path.write_text("void->void pipeline P { }")
+        proc = self.cli("run", str(path))
+        assert proc.returncode == 1
+        assert "Traceback" not in proc.stderr
+
+    def test_usage_error_is_two(self):
+        proc = self.cli("run")  # missing the file operand
+        assert proc.returncode == 2
+
+    def test_bad_limits_spec_is_two(self, tiny_file):
+        proc = self.cli("run", tiny_file, "--limits", "bogus=1")
+        assert proc.returncode == 2
+        assert "unknown resource limit" in proc.stderr
+
+    def test_resource_exhausted_is_three(self, tiny_file):
+        proc = self.cli("run", tiny_file, "--limits", "tokens=0")
+        assert proc.returncode == 3
+        assert proc.stderr.count("\n") == 1  # one structured line
+        assert "resource exhausted" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    def test_native_toolchain_failure_is_four(self, tiny_file):
+        pytest.importorskip("repro.backend.runner")
+        from repro.backend.runner import find_compiler
+        if find_compiler() is None:
+            pytest.skip("no C compiler on PATH")
+        proc = self.cli("run", tiny_file, "-n", "2", "--quiet",
+                        "--native", "--inject", "bin-nonzero:1")
+        assert proc.returncode == 4
+        assert "native run failure" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    def test_degradation_is_zero(self, tiny_file):
+        proc = self.cli("run", tiny_file, "-n", "2", "--quiet",
+                        "--native", "--inject", "cc-timeout:1")
+        assert proc.returncode == 0
+        assert "degraded to interpreter results" in proc.stderr
