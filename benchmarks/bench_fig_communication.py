@@ -46,7 +46,11 @@ def test_communication_reduction(benchmark):
     stream = compiled("fm_radio")
     benchmark(lambda: communication_report(stream.schedule))
     table, average = build_report()
-    emit("fig_communication", table)
+    emit("fig_communication", table,
+         data={"reduction_avg": average,
+               **{f"reduction.{name}":
+                  compiled(name).communication().reduction
+                  for name in all_names()}})
     # Shape check: splitter/joiner-free benchmarks reduce 0%, the suite
     # average lands in the paper's neighbourhood.
     assert 0.15 <= average <= 0.60

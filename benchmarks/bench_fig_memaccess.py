@@ -52,7 +52,11 @@ def test_memory_reduction(benchmark):
     record = evaluation("filterbank")
     benchmark(lambda: record.memory_accesses_modeled(I7_2600K, True))
     table, average = build_report()
-    emit("fig_memaccess", table)
+    emit("fig_memaccess", table,
+         data={"reduction_avg": average,
+               **{f"reduction.{name}":
+                  evaluation(name).memory_reduction_modeled(I7_2600K)
+                  for name in all_names()}})
     assert average > 0.60  # the paper's claim
     for name in all_names():
         assert evaluation(name).memory_reduction_modeled(I7_2600K) > 0.0

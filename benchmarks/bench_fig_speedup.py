@@ -38,7 +38,8 @@ def native_speedup(name: str, workdir: Path) -> float:
     return fifo.seconds / max(laminar.seconds, 1e-9)
 
 
-def build_report(native: dict[str, float] | None = None) -> str:
+def build_report(native: dict[str, float] | None = None
+                 ) -> tuple[str, dict[str, float]]:
     native = native or {}
     platform_keys = list(PLATFORMS)
     rows = []
@@ -53,18 +54,26 @@ def build_report(native: dict[str, float] | None = None) -> str:
         row.append(f"{native[name]:.2f}x" if name in native else "-")
         rows.append(row)
     geo_row = ["geomean"]
+    data: dict[str, float] = {}
     for key in platform_keys:
-        geo_row.append(f"{geometric_mean(per_platform[key]):.2f}x")
+        geo = geometric_mean(per_platform[key])
+        data[f"speedup_geomean.{key}"] = geo
+        geo_row.append(f"{geo:.2f}x")
     native_values = [v for v in native.values()]
+    if native_values:
+        data["speedup_geomean.host"] = geometric_mean(native_values)
+        for name, value in native.items():
+            data[f"speedup_host.{name}"] = value
     geo_row.append(f"{geometric_mean(native_values):.2f}x"
                    if native_values else "-")
     rows.append(geo_row)
-    return format_table(
+    table = format_table(
         ["benchmark"] + [PLATFORMS[k].name for k in platform_keys]
         + ["host (measured)"],
         rows,
         title="Figure: LaminarIR speedup over the FIFO baseline "
               "(paper: 3.73x-4.98x platform averages)")
+    return table, data
 
 
 def test_modeled_speedups(benchmark):
@@ -88,7 +97,8 @@ def test_native_speedups(benchmark, tmp_path):
     native = {name: native_speedup(name, tmp_path)
               for name in NATIVE_NAMES}
     benchmark(lambda: native_speedup("lattice", tmp_path))
-    emit("fig_speedup", build_report(native))
+    table, data = build_report(native)
+    emit("fig_speedup", table, data=data)
     # every native benchmark must at least not regress
     for name, value in native.items():
         assert value > 0.9, (name, value)
@@ -101,4 +111,4 @@ if __name__ == "__main__":
         with tempfile.TemporaryDirectory() as tmp:
             native = {name: native_speedup(name, Path(tmp))
                       for name in NATIVE_NAMES}
-    print(build_report(native))
+    print(build_report(native)[0])

@@ -46,7 +46,11 @@ def test_energy_savings(benchmark):
     record = evaluation("filterbank")
     benchmark(lambda: record.energy(I7_2600K, laminar=True))
     table, best = build_report()
-    emit("table_energy", table)
+    emit("table_energy", table,
+         data={"energy_saving_max": best,
+               **{f"energy_saving.{name}":
+                  evaluation(name).energy_saving(I7_2600K)
+                  for name in all_names()}})
     # shape: the best benchmark saves most of its energy, every benchmark
     # saves something, and savings hold on the other platforms too
     assert best > 0.7

@@ -19,12 +19,14 @@ of them with ``REPRO_TRACE=1`` to get a consistent per-stage breakdown
 from __future__ import annotations
 
 import atexit
+import json
 from functools import lru_cache
 from pathlib import Path
 
 from repro.evaluation import BenchmarkEvaluation, evaluate_benchmark
 from repro.lir import LoweringOptions
 from repro.obs import export as obs_export
+from repro.obs import ledger as obs_ledger
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace
 from repro.opt import OptOptions
@@ -69,12 +71,29 @@ def all_names() -> list[str]:
     return benchmark_names()
 
 
-def emit(name: str, text: str) -> None:
-    """Print a report and persist it under benchmarks/results/."""
+def emit(name: str, text: str, data: dict | None = None) -> None:
+    """Print a report and persist it under benchmarks/results/.
+
+    When ``data`` (a flat dict of headline numbers) is given, a
+    machine-readable ``BENCH_<name>.json`` trajectory file is written
+    next to the text report and the same numbers are appended to the
+    persistent run ledger (kind ``bench``), so ``python -m repro
+    history <name>`` and ``compare`` work on benchmark runs too.
+    """
     print()
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    if data is None:
+        return
+    body = obs_ledger.make_body("bench", name, metrics=data)
+    (RESULTS_DIR / f"BENCH_{name}.json").write_text(
+        json.dumps({"record_id": obs_ledger.record_id(body), "body": body},
+                   indent=2, sort_keys=True) + "\n")
+    try:
+        obs_ledger.append(body)
+    except OSError as error:  # pragma: no cover - disk-full etc.
+        print(f"warning: ledger append failed: {error}")
 
 
 def percent(fraction: float) -> str:

@@ -17,6 +17,7 @@ interpreters, both C backends and the analytic metrics.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -32,6 +33,7 @@ from repro.graph import FlatGraph, StreamNode, elaborate, flatten, \
 from repro.interp import FifoInterpreter, LaminarInterpreter, RunResult
 from repro.lir import LoweringOptions, Program, lower, verify
 from repro.machine.metrics import CommunicationReport, communication_report
+from repro.obs import bus
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace
 from repro.opt import OptOptions, OptStats, optimize
@@ -75,6 +77,11 @@ class CompiledStream:
     @property
     def name(self) -> str:
         return self.graph.name
+
+    @property
+    def source_hash(self) -> str:
+        """sha256 of the source text — the ledger's ``spec_hash``."""
+        return hashlib.sha256(self.source.encode("utf-8")).hexdigest()
 
     # -- structure ---------------------------------------------------------------
 
@@ -189,8 +196,12 @@ def compile_source(source: str,
         # build_schedule opens its own "schedule" span with sub-stages.
         schedule = build_schedule(graph)
     obs_metrics.gauge("compile.source_bytes").set(len(source))
-    return CompiledStream(source=source, ast=ast, root=root, graph=graph,
-                          schedule=schedule)
+    stream = CompiledStream(source=source, ast=ast, root=root, graph=graph,
+                            schedule=schedule)
+    bus.emit_event("compile.done", stream=stream.name, file=filename,
+                   spec_hash=stream.source_hash,
+                   filters=len(graph.vertices))
+    return stream
 
 
 def compile_file(path: str | Path) -> CompiledStream:

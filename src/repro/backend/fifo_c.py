@@ -12,8 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.backend.c_ast import CAstPrinter, helper_function
-from repro.backend.common import (C_MAIN, C_PRELUDE, c_float_literal,
-                                  c_int_literal, c_profile_runtime, c_type,
+from repro.backend.common import (C_PRELUDE, c_float_literal, c_int_literal,
+                                  c_main, c_profile_runtime, c_type,
                                   sanitize_ident)
 from repro.frontend.types import ArrayType, ScalarType
 from repro.graph.nodes import (Channel, FilterVertex, FlatGraph,
@@ -79,7 +79,7 @@ class FifoCBackend:
         self._emit_sequence("repro_init_schedule", self.schedule.init)
         self._emit_sequence("repro_steady", self.schedule.steady,
                             profiled=self.profile)
-        self.chunks.append(C_MAIN)
+        self.chunks.append(c_main(self.profile))
         return "\n".join(self.chunks)
 
     # -- naming -------------------------------------------------------------------

@@ -13,9 +13,9 @@ iteration) are emitted as statics; everything else is a block-local.
 
 from __future__ import annotations
 
-from repro.backend.common import (C_MAIN, C_PRELUDE, INTRINSIC_C_NAMES,
-                                  c_float_literal, c_int_literal,
-                                  c_profile_runtime, c_type)
+from repro.backend.common import (C_PRELUDE, INTRINSIC_C_NAMES, c_float_literal,
+                                  c_int_literal, c_main, c_profile_runtime,
+                                  c_type)
 from repro.frontend.types import FLOAT, INT
 from repro.lir.ops import (BinOp, CallOp, CastOp, Const, LoadOp, MoveOp, Op,
                            PrintOp, SelectOp, StoreOp, Temp, UnOp, Value)
@@ -163,7 +163,7 @@ class LaminarCBackend:
             lines.append("}")
             chunks.append("\n".join(lines))
 
-        chunks.append(C_MAIN)
+        chunks.append(c_main(self.profile))
         return "\n".join(chunks)
 
     # -- op translation ----------------------------------------------------------------

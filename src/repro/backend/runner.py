@@ -31,12 +31,15 @@ import os
 import shutil
 import signal
 import subprocess
+import sys
 import tempfile
+import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.faults import plan as fault_plan
+from repro.obs import bus as obs_bus
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace
 
@@ -95,6 +98,16 @@ class NativeProtocolError(NativeRunError):
     a crashed-but-exit-0 binary look like a bit-exact match."""
 
     stage = "protocol"
+
+
+class NativeStallError(NativeRunError):
+    """The heartbeat watchdog killed a binary that stopped making
+    progress: no ``heartbeat-json`` line arrived within the stall
+    window.  Fires *before* the hard run timeout, and names the filter
+    the binary was last spending time in (from the final heartbeat's
+    per-filter accumulators)."""
+
+    stage = "stall"
 
 
 def find_compiler() -> str | None:
@@ -203,6 +216,163 @@ class NativeRun:
     # {"iterations": int, "filters": [{"name","ns","ops","calls"}...],
     #  "hist": [int, ...]} (log2-ns buckets of whole steady iterations).
     profile: dict | None = None
+    # Parsed ``heartbeat-json`` lines, in arrival order (profile builds
+    # run with heartbeat_ms set; empty otherwise).
+    heartbeats: list[dict] = field(default_factory=list)
+
+
+# -- heartbeat side channel ---------------------------------------------------
+
+HEARTBEAT_PREFIX = "heartbeat-json "
+
+# How often the watchdog loop wakes to check the clock (seconds).
+_WATCH_POLL = 0.01
+
+
+def parse_heartbeat(line: str) -> dict | None:
+    """Parse one ``heartbeat-json`` stderr line; ``None`` if it isn't one.
+
+    Unparseable heartbeat lines are dropped rather than raised: a killed
+    binary can tear its final beat mid-line, and losing one progress
+    sample must not fail the run.
+    """
+    if not line.startswith(HEARTBEAT_PREFIX):
+        return None
+    try:
+        beat = json.loads(line[len(HEARTBEAT_PREFIX):])
+    except json.JSONDecodeError:
+        return None
+    return beat if isinstance(beat, dict) else None
+
+
+def hot_filter(beat: dict | None) -> str | None:
+    """The filter with the most accumulated ns in a heartbeat, if any."""
+    if not beat:
+        return None
+    filters = [entry for entry in beat.get("filters", [])
+               if isinstance(entry, dict) and "name" in entry]
+    if not filters:
+        return None
+    return max(filters, key=lambda entry: entry.get("ns", 0))["name"]
+
+
+class _HeartbeatWatch:
+    """Host-side heartbeat state shared with the watchdog loop."""
+
+    def __init__(self, on_heartbeat=None):
+        self.last_seen = time.monotonic()
+        self.beats = 0
+        self.latest: dict | None = None
+        self._on_heartbeat = on_heartbeat
+
+    def note_line(self, line: str) -> None:
+        beat = parse_heartbeat(line)
+        if beat is None:
+            return
+        self.last_seen = time.monotonic()
+        self.beats += 1
+        self.latest = beat
+        obs_metrics.counter("native.heartbeat.count").inc()
+        if "iter" in beat:
+            obs_metrics.gauge("native.heartbeat.iterations").set(
+                beat["iter"])
+        if "outputs" in beat:
+            obs_metrics.gauge("native.heartbeat.outputs").set(
+                beat["outputs"])
+        if "ns" in beat:
+            obs_metrics.gauge("native.heartbeat.ns").set(beat["ns"])
+        for entry in beat.get("filters", []):
+            if isinstance(entry, dict) and "name" in entry:
+                obs_metrics.gauge(
+                    f"native.heartbeat.filter.{entry['name']}.ns").set(
+                    entry.get("ns", 0))
+        if self._on_heartbeat is not None:
+            self._on_heartbeat(beat)
+
+
+def _run_watched(cmd: list[str], timeout: float,
+                 stall_timeout: float | None,
+                 env: dict[str, str] | None,
+                 watch: _HeartbeatWatch,
+                 stalled_name: str,
+                 injected: bool) -> subprocess.CompletedProcess:
+    """Run ``cmd`` streaming stderr line-by-line under a stall watchdog.
+
+    Raises ``subprocess.TimeoutExpired`` at the hard deadline and
+    :class:`NativeStallError` when no heartbeat arrives within
+    ``stall_timeout`` seconds — whichever comes first.  Either way the
+    whole process group is killed, never just the leader.
+    """
+    proc = subprocess.Popen(cmd, stdout=subprocess.PIPE,
+                            stderr=subprocess.PIPE, text=True,
+                            start_new_session=True, env=env)
+    stdout_parts: list[str] = []
+    stderr_lines: list[str] = []
+
+    def _drain_stdout() -> None:
+        stdout_parts.append(proc.stdout.read())
+
+    def _drain_stderr() -> None:
+        for line in proc.stderr:
+            stderr_lines.append(line)
+            watch.note_line(line.rstrip("\n"))
+
+    readers = [threading.Thread(target=_drain_stdout, daemon=True),
+               threading.Thread(target=_drain_stderr, daemon=True)]
+    for reader in readers:
+        reader.start()
+
+    def _finish() -> None:
+        for reader in readers:
+            reader.join(timeout=5)
+        proc.stdout.close()
+        proc.stderr.close()
+
+    started = time.monotonic()
+    watch.last_seen = started
+    while proc.poll() is None:
+        time.sleep(_WATCH_POLL)
+        now = time.monotonic()
+        if now - started > timeout:
+            _kill_process_group(proc)
+            proc.wait()
+            _finish()
+            raise subprocess.TimeoutExpired(cmd, timeout)
+        if stall_timeout is not None \
+                and now - watch.last_seen > stall_timeout:
+            _kill_process_group(proc)
+            proc.wait()
+            _finish()
+            beat = watch.latest or {}
+            last_filter = hot_filter(watch.latest)
+            obs_metrics.counter("native.stall").inc()
+            obs_bus.emit_event(
+                "native.stall", binary=stalled_name,
+                stall_timeout=stall_timeout, beats=watch.beats,
+                last_iter=beat.get("iter"), last_filter=last_filter,
+                injected=injected)
+            where = f" in filter {last_filter!r}" if last_filter else ""
+            raise NativeStallError(
+                f"no heartbeat within {stall_timeout:g}s "
+                f"(last beat: iteration {beat.get('iter', 'none')}"
+                f"{where}, {watch.beats} beat(s) total)"
+                + (" (injected bin-hang)" if injected else ""),
+                injected=injected)
+    _finish()
+    return subprocess.CompletedProcess(cmd, proc.returncode,
+                                       "".join(stdout_parts),
+                                       "".join(stderr_lines))
+
+
+# A stand-in for a wedged binary (the bin-hang fault site): one valid
+# heartbeat, then no progress until the watchdog kills it.
+_HANG_SCRIPT = (
+    "import sys, time\n"
+    "sys.stderr.write('heartbeat-json {\"iter\":1,\"outputs\":0,"
+    "\"ns\":1000,\"filters\":[{\"name\":\"injected-hang\",\"ns\":1000}]}"
+    "\\n')\n"
+    "sys.stderr.flush()\n"
+    "time.sleep(600)\n")
 
 
 def compile_c(code: str, workdir: Path | None = None,
@@ -303,11 +473,26 @@ def _compile_into(code: str, workdir: Path, compiler: str,
 
 def run_binary(binary: Path, iterations: int,
                print_outputs: bool = False,
-               timeout: float = DEFAULT_RUN_TIMEOUT) -> NativeRun:
-    """Run the compiled binary and strictly parse its output protocol."""
+               timeout: float = DEFAULT_RUN_TIMEOUT,
+               heartbeat_ms: int | None = None,
+               stall_timeout: float | None = None,
+               on_heartbeat=None) -> NativeRun:
+    """Run the compiled binary and strictly parse its output protocol.
+
+    ``heartbeat_ms`` sets ``REPRO_HEARTBEAT_MS`` in the child's
+    environment (profile builds then emit ``heartbeat-json`` progress
+    lines; 0 = every iteration).  ``stall_timeout`` arms the watchdog:
+    when no heartbeat arrives within that many seconds the process group
+    is killed and :class:`NativeStallError` raised — *before* the hard
+    ``timeout``.  ``on_heartbeat`` receives each parsed beat dict live;
+    beats are also published as ``native.heartbeat.*`` gauges and
+    collected into :attr:`NativeRun.heartbeats`.
+    """
     plan = fault_plan.current_plan()
     mode = "print" if print_outputs else "time"
     cmd = [str(binary), str(iterations), mode]
+    streaming = (heartbeat_ms is not None or stall_timeout is not None
+                 or on_heartbeat is not None)
     injected = False
     with trace.span("native.run", name=binary.name, iterations=iterations,
                     mode=mode):
@@ -315,6 +500,13 @@ def run_binary(binary: Path, iterations: int,
             raise NativeRunError(
                 f"native run timed out after {timeout:g}s "
                 "(injected bin-timeout)", injected=True)
+        hang = plan.should_fire("bin-hang")
+        if hang and stall_timeout is None:
+            # Without a watchdog a hung binary only dies at the hard
+            # timeout; don't make injection campaigns wait for that.
+            raise NativeStallError(
+                "binary stopped making progress and no heartbeat "
+                "watchdog was armed (injected bin-hang)", injected=True)
         if plan.should_fire("bin-nonzero"):
             result = subprocess.CompletedProcess(
                 cmd, 1, "", "injected fault: binary exited nonzero")
@@ -330,6 +522,24 @@ def run_binary(binary: Path, iterations: int,
             result = subprocess.CompletedProcess(
                 cmd, 0, "", "checksum 00000000deadbeef\n")
             injected = True
+        elif streaming or hang:
+            if hang:
+                # Swap in a wedge that emits one beat then goes silent,
+                # so the real watchdog path runs end to end.
+                cmd = [sys.executable, "-c", _HANG_SCRIPT]
+                injected = True
+            env = None
+            if heartbeat_ms is not None:
+                env = {**os.environ,
+                       "REPRO_HEARTBEAT_MS": str(heartbeat_ms)}
+            watch = _HeartbeatWatch(on_heartbeat)
+            try:
+                result = _run_watched(cmd, timeout, stall_timeout, env,
+                                      watch, binary.name,
+                                      injected=injected)
+            except subprocess.TimeoutExpired:
+                raise NativeRunError(
+                    f"native run timed out after {timeout:g}s") from None
         else:
             try:
                 result = _run_checked(cmd, timeout)
@@ -357,7 +567,13 @@ def parse_run_output(stdout: str, stderr: str, print_outputs: bool,
                                   "seconds": []}
     profile: dict | None = None
     profile_lines = 0
+    heartbeats: list[dict] = []
     for line in stderr.splitlines():
+        if line.startswith(HEARTBEAT_PREFIX):
+            beat = parse_heartbeat(line)
+            if beat is not None:
+                heartbeats.append(beat)
+            continue
         if line.startswith("profile-json "):
             profile_lines += 1
             try:
@@ -406,7 +622,8 @@ def parse_run_output(stdout: str, stderr: str, print_outputs: bool,
                     f"unparseable output token {text!r}",
                     injected=injected) from None
     return NativeRun(checksum=checksum, output_count=count,
-                     seconds=seconds, outputs=outputs, profile=profile)
+                     seconds=seconds, outputs=outputs, profile=profile,
+                     heartbeats=heartbeats)
 
 
 def _is_int(text: str) -> bool:
@@ -425,7 +642,10 @@ def compile_and_run(code: str, iterations: int,
                     name: str = "prog",
                     keep_artifacts: bool | None = None,
                     compile_timeout: float = DEFAULT_COMPILE_TIMEOUT,
-                    run_timeout: float = DEFAULT_RUN_TIMEOUT) -> NativeRun:
+                    run_timeout: float = DEFAULT_RUN_TIMEOUT,
+                    heartbeat_ms: int | None = None,
+                    stall_timeout: float | None = None,
+                    on_heartbeat=None) -> NativeRun:
     """Compile and run with full temp-dir lifecycle management.
 
     Auto-created workdirs are deleted on success, kept on real failures
@@ -444,7 +664,10 @@ def compile_and_run(code: str, iterations: int,
         try:
             run = run_binary(binary, iterations,
                              print_outputs=print_outputs,
-                             timeout=run_timeout)
+                             timeout=run_timeout,
+                             heartbeat_ms=heartbeat_ms,
+                             stall_timeout=stall_timeout,
+                             on_heartbeat=on_heartbeat)
         except NativeToolchainError as error:
             kept = _finish_workdir(workdir, owned, error, keep)
             raise _with_artifacts(error, kept) from error.__cause__

@@ -27,8 +27,25 @@ Commands
     execution route agrees (see ``docs/FUZZING.md``).  ``--native`` adds
     both C backends, ``--shrink`` minimizes diverging programs, and
     ``--corpus-dir`` checks reproducers in as regression tests.
+``history TARGET``
+    List the persistent run ledger's records for a target (every
+    ``run``/``report``/``profile``/``fuzz`` invocation appends one under
+    ``.repro/ledger/``; override with ``REPRO_LEDGER_DIR``).
+``compare RUN_A RUN_B [--threshold F] [--metric M]``
+    Diff two ledger records; exits 1 when the primary metric regressed
+    past the threshold, 2 on a bad reference or missing ledger.
+``metrics-serve [TARGET]``
+    Serve the metrics registry as Prometheus/OpenMetrics text on a
+    stdlib HTTP endpoint (``/metrics``, ``/healthz``); ``--self-check``
+    scrapes itself once and validates the exposition.
 ``list``
     List the benchmark suite.
+
+``run``, ``report``, ``profile`` and ``fuzz`` accept ``--event-log
+PATH`` to stream structured telemetry (events, closed spans, a final
+metrics snapshot) to a JSONL file; ``profile --native`` accepts
+``--heartbeat MS`` / ``--stall-timeout S`` for live native heartbeats
+and the stall watchdog (see ``docs/OBSERVABILITY.md``).
 
 ``run`` and ``report`` also accept ``--trace`` to print the span tree
 to stderr after the normal output.  ``run``, ``emit``, ``report`` and
@@ -58,6 +75,7 @@ import contextlib
 import json
 import os
 import sys
+import time
 from pathlib import Path
 
 from repro.api import (CompiledStream, check_equivalence, compile_file)
@@ -68,9 +86,12 @@ from repro.faults import (FaultPlan, ResourceExhausted, ResourceLimits,
 from repro.frontend.errors import CompileError
 from repro.lir import LoweringOptions
 from repro.machine import PLATFORMS
+from repro.obs import bus as obs_bus
 from repro.obs import export as obs_export
+from repro.obs import ledger as obs_ledger
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
+from repro.obs.sinks import JsonlEventSink, MetricsServer, to_openmetrics
 from repro.opt import OptOptions, parse_pipeline
 from repro.suite import BENCHMARKS, benchmark_names, load_benchmark
 
@@ -144,6 +165,48 @@ def _add_robustness_arguments(parser: argparse.ArgumentParser) -> None:
         help="keep repro_native_* build dirs even on success")
 
 
+def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--event-log", metavar="PATH",
+        help="append structured telemetry (events, closed spans, a final "
+             "metrics snapshot) to PATH as JSONL")
+
+
+def _pipeline_name(args: argparse.Namespace) -> str | None:
+    pipeline = getattr(args, "opt_pipeline", None)
+    if pipeline:
+        return ",".join(pipeline)
+    if getattr(args, "no_opt", False):
+        return "none"
+    return "default"
+
+
+def _ledger_note(kind: str, target: str, args: argparse.Namespace, *,
+                 spec_hash: str | None = None, backend: str | None = None,
+                 checksum: int | None = None, seconds: float | None = None,
+                 metrics: dict | None = None) -> dict | None:
+    """Best-effort ledger append; a full disk must not fail the command."""
+    flags = {}
+    for key in ("no_opt", "no_elim", "native", "attribution", "shrink"):
+        if getattr(args, key, False):
+            flags[key] = True
+    body = obs_ledger.make_body(
+        kind, target, spec_hash=spec_hash, backend=backend,
+        pipeline=_pipeline_name(args),
+        iterations=getattr(args, "iterations", None), flags=flags,
+        checksum=f"{checksum:016x}" if checksum is not None else None,
+        seconds=seconds, metrics=metrics)
+    try:
+        envelope = obs_ledger.append(body)
+    except OSError as error:
+        print(f"warning: could not append to run ledger: {error}",
+              file=sys.stderr)
+        return None
+    obs_bus.emit_event("ledger.append", record_id=envelope["record_id"],
+                       seq=envelope["seq"], kind=kind, target=target)
+    return envelope
+
+
 def _install_robustness(args: argparse.Namespace,
                         stack: contextlib.ExitStack) -> None:
     """Install the ambient limits / fault plan / artifact policy.
@@ -187,6 +250,7 @@ def _notice_nonconvergence(stream: CompiledStream,
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    started = time.monotonic()
     stream = compile_file(args.file)
     lowering, opt = _options(args)
     report = check_equivalence(stream, iterations=args.iterations,
@@ -208,6 +272,8 @@ def cmd_run(args: argparse.Namespace) -> int:
           f"memory: {fifo.memory_accesses / args.iterations:.0f} -> "
           f"{laminar.memory_accesses / args.iterations:.0f}",
           file=sys.stderr)
+    native_seconds = None
+    backend = "interp"
     if getattr(args, "native", False):
         from repro.faults import degrade
         attempt = degrade.native_or_fallback(
@@ -223,6 +289,24 @@ def cmd_run(args: argparse.Namespace) -> int:
                 return 1
             print(f"# native: checksum verified, "
                   f"{attempt.run.seconds:.3f}s", file=sys.stderr)
+            native_seconds = attempt.run.seconds
+            backend = "laminar-c"
+    _ledger_note(
+        "run", Path(args.file).stem, args,
+        spec_hash=stream.source_hash, backend=backend,
+        checksum=report.checksum,
+        seconds=native_seconds if native_seconds is not None
+        else time.monotonic() - started,
+        metrics={
+            "outputs": len(report.laminar.outputs),
+            "fifo_ops_per_iter": fifo.total_ops / args.iterations,
+            "laminar_ops_per_iter": laminar.total_ops / args.iterations,
+            "fifo_mem_per_iter": fifo.memory_accesses / args.iterations,
+            "laminar_mem_per_iter":
+                laminar.memory_accesses / args.iterations,
+            **({"native_seconds": native_seconds}
+               if native_seconds is not None else {}),
+        })
     return 0
 
 
@@ -266,6 +350,7 @@ def cmd_graph(args: argparse.Namespace) -> int:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
+    started = time.monotonic()
     if args.name not in BENCHMARKS:
         print(f"unknown benchmark {args.name!r}; see `python -m repro "
               "list`", file=sys.stderr)
@@ -313,6 +398,22 @@ def cmd_report(args: argparse.Namespace) -> int:
     if getattr(args, "attribution", False):
         print()
         print(_attribution_table(stream, lowering, opt))
+    metrics: dict[str, object] = {
+        "comm_reduction": record.comm.reduction,
+        "memory_reduction": record.memory_reduction,
+        "outputs_match": record.outputs_match,
+    }
+    for model in PLATFORMS.values():
+        metrics[f"speedup.{model.name}"] = record.speedup(model)
+    if record.native_seconds is not None:
+        metrics["native_seconds"] = record.native_seconds
+    _ledger_note(
+        "report", args.name, args, spec_hash=stream.source_hash,
+        backend="laminar-c" if record.native_seconds is not None
+        else "interp",
+        seconds=record.native_seconds if record.native_seconds is not None
+        else time.monotonic() - started,
+        metrics=metrics)
     return 0
 
 
@@ -359,6 +460,7 @@ def _load_target(target: str) -> CompiledStream | None:
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
+    started = time.monotonic()
     was_enabled = obs_trace.is_enabled()
     obs_trace.enable()
     try:
@@ -373,9 +475,10 @@ def cmd_profile(args: argparse.Namespace) -> int:
                                    lowering=lowering, opt=opt)
         native_table = None
         if getattr(args, "native", False):
-            native_table, native_code = _native_profile(stream, lowering,
-                                                        opt,
-                                                        args.iterations)
+            native_table, native_code = _native_profile(
+                stream, lowering, opt, args.iterations,
+                heartbeat_ms=args.heartbeat,
+                stall_timeout=args.stall_timeout)
             if native_code != 0:
                 return native_code
         roots = obs_trace.get_trace()
@@ -401,6 +504,13 @@ def cmd_profile(args: argparse.Namespace) -> int:
             print("error: FIFO and LaminarIR outputs diverge",
                   file=sys.stderr)
             return 1
+        _ledger_note("profile", stream.name, args,
+                     spec_hash=stream.source_hash,
+                     backend="laminar-c" if native_table is not None
+                     else "interp",
+                     checksum=report.checksum,
+                     seconds=time.monotonic() - started,
+                     metrics=metric_values)
         return 0
     finally:
         if not was_enabled:
@@ -408,7 +518,9 @@ def cmd_profile(args: argparse.Namespace) -> int:
 
 
 def _native_profile(stream: CompiledStream, lowering: LoweringOptions,
-                    opt: OptOptions, iterations: int
+                    opt: OptOptions, iterations: int,
+                    heartbeat_ms: int | None = None,
+                    stall_timeout: float | None = None
                     ) -> tuple[str | None, int]:
     """Run the laminar C backend plain and instrumented.
 
@@ -416,11 +528,14 @@ def _native_profile(stream: CompiledStream, lowering: LoweringOptions,
     ``REPRO_PROFILE`` — asserts the outputs are bit-exact, publishes the
     parsed per-filter timings into the metrics registry (so they reach
     the text/JSON/Chrome-trace exporters), and renders the per-filter
-    native table.  Returns ``(table, 0)`` on success, ``(None, 0)`` when
-    the toolchain failed (graceful degradation: the interpreter profile
-    still prints), and ``(None, 1)`` when the instrumented build
-    diverged or violated the profile protocol.  A failure of the
-    generated *binary* propagates as :class:`NativeToolchainError`.
+    native table.  ``heartbeat_ms``/``stall_timeout`` arm the
+    instrumented run's live progress side channel and stall watchdog
+    (``--heartbeat`` / ``--stall-timeout``).  Returns ``(table, 0)`` on
+    success, ``(None, 0)`` when the toolchain failed (graceful
+    degradation: the interpreter profile still prints), and ``(None, 1)``
+    when the instrumented build diverged or violated the profile
+    protocol.  A failure of the generated *binary* propagates as
+    :class:`NativeToolchainError`.
     """
     from repro.backend.laminar_c import generate_laminar_c
     from repro.backend.runner import NativeCompileError, compile_and_run
@@ -428,11 +543,15 @@ def _native_profile(stream: CompiledStream, lowering: LoweringOptions,
 
     program = stream.lower(lowering, opt).program
     try:
-        plain = compile_and_run(generate_laminar_c(program), iterations,
-                                name="laminar")
+        # Instrumented build first: it is the one with the heartbeat
+        # side channel, so an injected/real hang is caught by the live
+        # stall watchdog rather than the unwatched plain run.
         profiled = compile_and_run(
             generate_laminar_c(program, profile=True), iterations,
-            name="laminar_profiled")
+            name="laminar_profiled", heartbeat_ms=heartbeat_ms,
+            stall_timeout=stall_timeout)
+        plain = compile_and_run(generate_laminar_c(program), iterations,
+                                name="laminar")
     except NativeCompileError as error:
         degrade.record_fallback("profile --native", str(error))
         print(f"notice: native toolchain unavailable "
@@ -448,6 +567,9 @@ def _native_profile(stream: CompiledStream, lowering: LoweringOptions,
         print("error: instrumented binary emitted no profile-json line",
               file=sys.stderr)
         return None, 1
+    if profiled.heartbeats:
+        print(f"# native: {len(profiled.heartbeats)} heartbeat(s) "
+              f"(REPRO_HEARTBEAT_MS={heartbeat_ms})", file=sys.stderr)
     iters = max(profiled.profile.get("iterations", iterations), 1)
     filters = profiled.profile.get("filters", [])
     total_ns = sum(entry["ns"] for entry in filters) or 1.0
@@ -481,6 +603,7 @@ def _native_profile(stream: CompiledStream, lowering: LoweringOptions,
 def cmd_fuzz(args: argparse.Namespace) -> int:
     from repro.fuzz import fuzz_campaign
 
+    started = time.monotonic()
     corpus = Path(args.corpus_dir) if args.corpus_dir else None
     result = fuzz_campaign(
         seed=args.seed, runs=args.runs, iterations=args.iterations,
@@ -495,7 +618,87 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
           f"{len(result.findings)} divergence(s), "
           f"{len(result.features)} generator features covered",
           file=sys.stderr)
+    _ledger_note("fuzz", f"fuzz-seed-{args.seed}", args,
+                 seconds=time.monotonic() - started,
+                 metrics={"programs": result.programs,
+                          "skipped": result.skipped,
+                          "degraded": result.degraded,
+                          "findings": len(result.findings),
+                          "features": len(result.features)})
     return 1 if result.findings else 0
+
+
+def cmd_history(args: argparse.Namespace) -> int:
+    records = obs_ledger.load_records(target=args.target)
+    if not records:
+        raise obs_ledger.LedgerError(
+            f"no ledger records for target {args.target!r} in "
+            f"{obs_ledger.ledger_dir()}")
+    if args.limit:
+        records = records[-args.limit:]
+    if args.json:
+        print(json.dumps(records, indent=2))
+    else:
+        print(f"ledger history for {args.target!r} "
+              f"({len(records)} record(s), newest first):")
+        print(obs_ledger.format_history(records))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    before = obs_ledger.resolve(args.run_a)
+    after = obs_ledger.resolve(args.run_b)
+    result = obs_ledger.compare(before, after, metric=args.metric,
+                                threshold=args.threshold)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(obs_ledger.format_comparison(result))
+    return 1 if result.regression else 0
+
+
+def cmd_metrics_serve(args: argparse.Namespace) -> int:
+    from urllib.request import urlopen
+
+    obs_trace.enable()
+    if args.target:
+        stream = _load_target(args.target)
+        if stream is None:
+            print(f"error: {args.target!r} is neither a .str file nor a "
+                  "suite benchmark; see `python -m repro list`",
+                  file=sys.stderr)
+            return 1
+        lowering, opt = _options(args)
+        check_equivalence(stream, iterations=args.iterations,
+                          lowering=lowering, opt=opt)
+    # At least one family must exist even with no target warm-up.
+    obs_metrics.registry().gauge("obs.up").set(1)
+    if args.print_only:
+        sys.stdout.write(to_openmetrics())
+        return 0
+    server = MetricsServer(args.host, args.port).start()
+    print(f"serving OpenMetrics at {server.url} (and /healthz)",
+          file=sys.stderr)
+    try:
+        if args.self_check:
+            with urlopen(server.url) as response:
+                body = response.read().decode("utf-8")
+                content_type = response.headers.get("Content-Type", "")
+            sys.stdout.write(body)
+            if "repro_" not in body \
+                    or not body.rstrip().endswith("# EOF"):
+                print("error: exposition lacks a repro_ family or the "
+                      "# EOF terminator", file=sys.stderr)
+                return 1
+            print(f"# self-check ok: {len(body)} bytes, content-type "
+                  f"{content_type}", file=sys.stderr)
+            return 0
+        while True:  # pragma: no cover - interactive serve loop
+            time.sleep(3600)
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        return 0
+    finally:
+        server.stop()
 
 
 def cmd_list(_args: argparse.Namespace) -> int:
@@ -533,6 +736,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--trace", action="store_true",
                      help="print the pipeline span tree to stderr")
     _add_robustness_arguments(run)
+    _add_telemetry_arguments(run)
     run.set_defaults(func=cmd_run)
 
     emit = sub.add_parser("emit", help="print lowered/generated code")
@@ -567,6 +771,7 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--trace", action="store_true",
                         help="print the pipeline span tree to stderr")
     _add_robustness_arguments(report)
+    _add_telemetry_arguments(report)
     report.set_defaults(func=cmd_report)
 
     profile = sub.add_parser(
@@ -584,10 +789,22 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also compile the laminar C backend with "
                               "REPRO_PROFILE instrumentation and report "
                               "per-filter native ns/iteration")
+    profile.add_argument("--heartbeat", type=int, default=None,
+                         metavar="MS",
+                         help="with --native: make the instrumented "
+                              "binary emit heartbeat-json progress "
+                              "lines every MS milliseconds (0 = every "
+                              "iteration)")
+    profile.add_argument("--stall-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="with --native: kill the instrumented "
+                              "binary and record a native.stall event "
+                              "when no heartbeat arrives for SECONDS")
     profile.add_argument("--no-elim", action="store_true")
     profile.add_argument("--no-opt", action="store_true")
     _add_opt_arguments(profile)
     _add_robustness_arguments(profile)
+    _add_telemetry_arguments(profile)
     profile.set_defaults(func=cmd_profile)
 
     fuzz = sub.add_parser(
@@ -608,7 +825,60 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--trace", action="store_true",
                       help="print the pipeline span tree to stderr")
     _add_robustness_arguments(fuzz)
+    _add_telemetry_arguments(fuzz)
     fuzz.set_defaults(func=cmd_fuzz)
+
+    history = sub.add_parser(
+        "history",
+        help="list the run ledger's records for one target")
+    history.add_argument("target",
+                         help="a ledger target (benchmark name, file "
+                              "stem, or fuzz-seed-N)")
+    history.add_argument("--limit", type=int, default=0, metavar="N",
+                         help="show only the newest N records")
+    history.add_argument("--json", action="store_true",
+                         help="emit the raw ledger envelopes as JSON")
+    history.set_defaults(func=cmd_history)
+
+    compare = sub.add_parser(
+        "compare",
+        help="diff two ledger records; exit 1 on a perf regression")
+    compare.add_argument("run_a",
+                         help="baseline record: a record-id prefix, a "
+                              "target name (its latest record), or "
+                              "TARGET~N (N-th before latest)")
+    compare.add_argument("run_b", help="candidate record, same forms")
+    compare.add_argument("--threshold", type=float, default=0.25,
+                         metavar="FRACTION",
+                         help="allowed fractional growth of --metric "
+                              "before flagging a regression "
+                              "(default 0.25 = +25%%)")
+    compare.add_argument("--metric", default="seconds",
+                         help="the primary metric to gate on (default "
+                              "'seconds'; any recorded metric name "
+                              "works)")
+    compare.add_argument("--json", action="store_true",
+                         help="emit the comparison as JSON")
+    compare.set_defaults(func=cmd_compare)
+
+    serve = sub.add_parser(
+        "metrics-serve",
+        help="serve the metrics registry as OpenMetrics text over HTTP")
+    serve.add_argument("target", nargs="?",
+                       help="optional .str file or benchmark to run "
+                            "first, populating the registry")
+    serve.add_argument("-n", "--iterations", type=int, default=4)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=9464,
+                       help="port to bind (default 9464; 0 = ephemeral)")
+    serve.add_argument("--self-check", action="store_true",
+                       help="serve, scrape /metrics once over HTTP, "
+                            "print the exposition, validate it, exit")
+    serve.add_argument("--print-only", action="store_true",
+                       help="print the OpenMetrics exposition to stdout "
+                            "without binding a socket")
+    _add_opt_arguments(serve)
+    serve.set_defaults(func=cmd_metrics_serve)
 
     lst = sub.add_parser("list", help="list the benchmark suite")
     lst.set_defaults(func=cmd_list)
@@ -629,6 +899,11 @@ def main(argv: list[str] | None = None) -> int:
     was_enabled = obs_trace.is_enabled()
     if want_trace:
         obs_trace.enable()
+    event_sink = None
+    event_log = getattr(args, "event_log", None)
+    if event_log:
+        event_sink = obs_bus.get_bus().add_sink(
+            JsonlEventSink(Path(event_log)))
     try:
         with contextlib.ExitStack() as stack:
             try:
@@ -648,6 +923,11 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: resource exhausted: {error.message}",
               file=sys.stderr)
         return 3
+    except obs_ledger.LedgerError as error:
+        # A bad record reference / missing ledger is a usage-class
+        # error, distinct from "regression found" (exit 1).
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     except CompileError as error:
         print(error.format(), file=sys.stderr)
         return 1
@@ -662,6 +942,11 @@ def main(argv: list[str] | None = None) -> int:
         # stdout closed early (e.g. piped into `head`); exit quietly.
         return 0
     finally:
+        if event_sink is not None:
+            bus = obs_bus.get_bus()
+            bus.flush(obs_metrics.registry().as_dict())
+            bus.remove_sink(event_sink)
+            event_sink.close()
         if want_trace and not was_enabled:
             obs_trace.disable()
 

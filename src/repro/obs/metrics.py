@@ -20,6 +20,7 @@ Naming convention: dot-separated, lowest-frequency prefix first —
 
 from __future__ import annotations
 
+import math
 import threading
 
 from repro.obs import trace
@@ -93,13 +94,19 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, q: float) -> float:
-        """Nearest-rank percentile (``q`` in [0, 100]) over the reservoir."""
+        """Nearest-rank percentile (``q`` in [0, 100]).
+
+        While every observation is still in the reservoir (``n`` below
+        :data:`MAX_SAMPLES`, stride 1) this is the *exact* nearest-rank
+        percentile — p99 of 10 samples is the max, not an interpolated
+        reservoir artifact.  After decimation it degrades to the same
+        nearest-rank rule over the deterministic sample reservoir.
+        """
         if not self._samples:
             return 0.0
         ordered = sorted(self._samples)
-        rank = max(0, min(len(ordered) - 1,
-                          round(q / 100.0 * (len(ordered) - 1))))
-        return ordered[rank]
+        rank = math.ceil(q / 100.0 * len(ordered)) - 1
+        return ordered[max(0, min(len(ordered) - 1, rank))]
 
     def summary(self) -> dict[str, float]:
         out = {"count": self.count, "total": self.total,
@@ -163,6 +170,10 @@ class MetricsRegistry:
 
     def names(self) -> list[str]:
         return sorted(self._metrics)
+
+    def instruments(self) -> dict[str, Counter | Gauge | Histogram]:
+        """Name → instrument snapshot (sorted), for typed exporters."""
+        return {name: self._metrics[name] for name in self.names()}
 
     def as_dict(self) -> dict[str, object]:
         """Snapshot of every metric, sorted by name.

@@ -1,0 +1,245 @@
+"""Concrete telemetry sinks: JSONL event log, Chrome trace, OpenMetrics.
+
+Every sink implements the :class:`repro.obs.bus.TelemetrySink`
+interface; attach them with ``bus.get_bus().add_sink(...)`` (the CLI's
+``--event-log`` flag does exactly that).
+
+* :class:`JsonlEventSink` — appends one JSON object per line: every
+  published event (``{"type": "event", ...}``), every closed span
+  (``{"type": "span", ...}``, flat — nesting is recoverable from the
+  Chrome trace or the span forest) and a final metrics snapshot
+  (``{"type": "metrics", ...}``) at flush.  The durable, greppable,
+  diffable form of what PR 1's in-process tracer kept only in memory.
+* :class:`ChromeTraceSink` — the existing Chrome trace-event exporter
+  (:mod:`repro.obs.export`) ported onto the sink interface: buffers the
+  last metrics snapshot and serializes the collected span forest at
+  close.
+* :class:`OpenMetricsSink` / :func:`to_openmetrics` — the metrics
+  registry rendered as Prometheus/OpenMetrics text exposition
+  (``repro_``-prefixed families; counters as ``_total``, histograms as
+  summaries with ``quantile`` labels, terminated by ``# EOF``).
+* :class:`MetricsServer` — a stdlib ``http.server`` thread serving the
+  exposition at ``/metrics`` (``python -m repro metrics-serve``); the
+  scrape endpoint the compile-service daemon on the roadmap will reuse.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.bus import Event, TelemetrySink, _jsonable
+
+OPENMETRICS_CONTENT_TYPE = \
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+
+def span_record(span) -> dict:
+    """A flat JSON-serializable record of one closed span."""
+    out: dict[str, object] = {
+        "name": span.name,
+        "wall_start": span.wall_start,
+        "start_ns": span.start_ns,
+        "duration_ns": span.duration_ns if span.duration_ns is not None
+        else 0,
+        "thread": span.thread_id,
+        "children": len(span.children),
+    }
+    if span.attrs:
+        out["attrs"] = {key: _jsonable(value)
+                        for key, value in span.attrs.items()}
+    return out
+
+
+class JsonlEventSink(TelemetrySink):
+    """Append-only JSONL log of events, closed spans and metric snapshots."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._file = None
+
+    def _write(self, payload: dict) -> None:
+        with self._lock:
+            if self._file is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._file = self.path.open("a", encoding="utf-8")
+            self._file.write(json.dumps(payload, sort_keys=True) + "\n")
+
+    def on_event(self, event: Event) -> None:
+        self._write({"type": "event", **event.to_dict()})
+
+    def on_span(self, span) -> None:
+        self._write({"type": "span", **span_record(span)})
+
+    def on_metrics(self, snapshot: dict) -> None:
+        self._write({"type": "metrics", "metrics": snapshot})
+
+    def flush(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+
+
+class ChromeTraceSink(TelemetrySink):
+    """Writes the collected span forest as Chrome trace-event JSON at close."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._snapshot: dict | None = None
+
+    def on_metrics(self, snapshot: dict) -> None:
+        self._snapshot = snapshot
+
+    def close(self) -> None:
+        from repro.obs import export, trace
+        export.write_chrome_trace(trace.get_trace(), self.path,
+                                  metrics=self._snapshot)
+
+
+# -- OpenMetrics text exposition ----------------------------------------------
+
+def _metric_name(name: str) -> str:
+    return "repro_" + re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def to_openmetrics(registry: "obs_metrics.MetricsRegistry | None" = None
+                   ) -> str:
+    """Render the metrics registry as OpenMetrics text exposition.
+
+    Counters become ``<name>_total`` counter families, gauges gauge
+    families, histograms summary families (``quantile`` labels for
+    p50/p90/p99 plus ``_count``/``_sum``).  Metric names are the
+    registry's dotted names with ``repro_`` prefixed and every
+    non-``[a-zA-Z0-9_:]`` character mapped to ``_``.  The exposition is
+    terminated by the mandatory ``# EOF`` line.
+    """
+    if registry is None:
+        registry = obs_metrics.registry()
+    lines: list[str] = []
+    for name, instrument in registry.instruments().items():
+        family = _metric_name(name)
+        if isinstance(instrument, obs_metrics.Counter):
+            lines.append(f"# TYPE {family} counter")
+            lines.append(f"# HELP {family} {name}")
+            lines.append(f"{family}_total {_fmt(instrument.value)}")
+        elif isinstance(instrument, obs_metrics.Gauge):
+            lines.append(f"# TYPE {family} gauge")
+            lines.append(f"# HELP {family} {name}")
+            lines.append(f"{family} {_fmt(instrument.value)}")
+        elif isinstance(instrument, obs_metrics.Histogram):
+            lines.append(f"# TYPE {family} summary")
+            lines.append(f"# HELP {family} {name}")
+            for q in (0.5, 0.9, 0.99):
+                value = instrument.percentile(q * 100)
+                lines.append(f'{family}{{quantile="{q}"}} {_fmt(value)}')
+            lines.append(f"{family}_count {_fmt(instrument.count)}")
+            lines.append(f"{family}_sum {_fmt(instrument.total)}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+class OpenMetricsSink(TelemetrySink):
+    """Writes the OpenMetrics exposition to a file at every flush."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+
+    def flush(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(to_openmetrics())
+
+    def close(self) -> None:
+        self.flush()
+
+
+# -- the scrape endpoint ------------------------------------------------------
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    def do_GET(self):  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0]
+        if path in ("/", "/metrics"):
+            body = to_openmetrics().encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", OPENMETRICS_CONTENT_TYPE)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        elif path == "/healthz":
+            body = b"ok\n"
+            self.send_response(200)
+            self.send_header("Content-Type", "text/plain")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        else:
+            self.send_error(404)
+
+    def log_message(self, format, *args):  # noqa: A002 - http.server API
+        pass  # scrapes are routine; don't spam stderr
+
+
+class MetricsServer:
+    """A ``/metrics`` OpenMetrics endpoint on a background thread.
+
+    ``port=0`` binds an ephemeral port; read the actual one from
+    ``server.port`` (or ``server.url``).  ``serve_forever`` handles
+    requests until :meth:`stop`; ``handle_request`` serves exactly one
+    (for scripted single-scrape smoke tests).
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+        self._server = ThreadingHTTPServer((host, port), _MetricsHandler)
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}/metrics"
+
+    def start(self) -> "MetricsServer":
+        self._thread = threading.Thread(target=self._server.serve_forever,
+                                        name="repro-metrics-serve",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def handle_request(self) -> None:
+        self._server.handle_request()
+
+    def stop(self) -> None:
+        if self._thread is not None:
+            self._server.shutdown()
+            self._thread.join(timeout=5)
+            self._thread = None
+        self._server.server_close()
+
+
+def serve_metrics(host: str = "127.0.0.1", port: int = 0) -> MetricsServer:
+    """Start a background :class:`MetricsServer`; caller must ``stop()``."""
+    return MetricsServer(host, port).start()

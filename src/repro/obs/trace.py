@@ -4,9 +4,10 @@ A *span* is a named, timed region of work.  Spans nest: entering a span
 while another is open makes it a child, so one traced run yields a tree
 mirroring the pipeline (compile → parse/elaborate/flatten/schedule,
 lower → optimize → per-pass rounds, run.fifo / run.laminar, native
-compile+run).  Each span records wall-clock start time, monotonic
-start/duration (``time.perf_counter``), the owning thread, and free-form
-attributes.
+compile+run).  Each span records wall-clock start time (display only),
+a monotonic start/duration (``time.monotonic_ns`` — wall-clock deltas
+can go negative under NTP slew, integer nanoseconds cannot), the owning
+thread, and free-form attributes.
 
 Tracing is **off by default** and designed for near-zero overhead when
 disabled: :func:`span` then returns a shared no-op singleton, so the cost
@@ -18,7 +19,9 @@ with the ``REPRO_TRACE`` environment variable (any value other than
 
 The tracer is thread-safe: every thread keeps its own span stack, and
 spans opened on a thread with no enclosing span become additional roots.
-Exporters for the collected tree live in :mod:`repro.obs.export`.
+Exporters for the collected tree live in :mod:`repro.obs.export`; closed
+spans are additionally forwarded to the telemetry bus
+(:mod:`repro.obs.bus`) whenever a sink is attached.
 """
 
 from __future__ import annotations
@@ -33,18 +36,30 @@ import time
 class Span:
     """One timed region of the pipeline.  Use via ``with trace.span(...)``."""
 
-    __slots__ = ("name", "attrs", "wall_start", "start", "duration",
+    __slots__ = ("name", "attrs", "wall_start", "start_ns", "duration_ns",
                  "children", "thread_id", "_tracer")
 
     def __init__(self, name: str, attrs: dict, tracer: "Tracer"):
         self.name = name
         self.attrs = attrs
-        self.wall_start = 0.0   # time.time() at __enter__
-        self.start = 0.0        # time.perf_counter() at __enter__
-        self.duration: float | None = None
+        self.wall_start = 0.0        # time.time() at __enter__ (display only)
+        self.start_ns = 0            # time.monotonic_ns() at __enter__
+        self.duration_ns: int | None = None
         self.children: list[Span] = []
         self.thread_id = 0
         self._tracer = tracer
+
+    @property
+    def start(self) -> float:
+        """Monotonic start in seconds (derived from ``start_ns``)."""
+        return self.start_ns / 1e9
+
+    @property
+    def duration(self) -> float | None:
+        """Duration in seconds (derived from ``duration_ns``)."""
+        if self.duration_ns is None:
+            return None
+        return self.duration_ns / 1e9
 
     def annotate(self, **attrs: object) -> None:
         """Attach additional attributes to this span."""
@@ -54,12 +69,15 @@ class Span:
         self.thread_id = threading.get_ident()
         self._tracer._push(self)
         self.wall_start = time.time()
-        self.start = time.perf_counter()
+        self.start_ns = time.monotonic_ns()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
-        self.duration = time.perf_counter() - self.start
+        self.duration_ns = time.monotonic_ns() - self.start_ns
         self._tracer._pop(self)
+        hook = _span_hook
+        if hook is not None:
+            hook(self)
         return False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -74,6 +92,9 @@ class _NullSpan:
     name = "<tracing disabled>"
     attrs: dict = {}
     children: list = []
+    start_ns = 0
+    duration_ns = 0
+    start = 0.0
     duration = 0.0
 
     def annotate(self, **attrs: object) -> None:
@@ -142,6 +163,16 @@ def _env_enabled() -> bool:
 _TRACER = Tracer()
 _enabled = _env_enabled()
 
+# Installed by the telemetry bus while at least one sink is attached:
+# called with every closed span so sinks can stream them out live.
+_span_hook = None
+
+
+def set_span_hook(hook) -> None:
+    """Install (or clear, with ``None``) the closed-span callback."""
+    global _span_hook
+    _span_hook = hook
+
 
 def is_enabled() -> bool:
     """Whether spans and metrics are being recorded."""
@@ -156,9 +187,7 @@ def enable(reset: bool = True) -> None:
     """
     global _enabled
     if reset:
-        _TRACER.reset()
-        from repro.obs import metrics as _metrics
-        _metrics.registry().reset()
+        _reset_all()
     _enabled = True
 
 
@@ -168,11 +197,18 @@ def disable() -> None:
     _enabled = False
 
 
-def reset() -> None:
-    """Drop all collected spans and metrics without changing enablement."""
+def _reset_all() -> None:
     _TRACER.reset()
     from repro.obs import metrics as _metrics
     _metrics.registry().reset()
+    from repro.obs import bus as _bus
+    _bus.get_bus().reset_events()
+
+
+def reset() -> None:
+    """Drop all collected spans, metrics and buffered events without
+    changing enablement (attached sinks stay attached)."""
+    _reset_all()
 
 
 def get_tracer() -> Tracer:

@@ -2,10 +2,30 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro import compile_source
 from repro.backend.runner import find_compiler
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_ledger(tmp_path_factory):
+    """Point the run ledger at a per-session temp dir.
+
+    CLI commands append ledger records as a side effect; without this,
+    running the test suite would grow ``.repro/ledger/`` in the repo.
+    Subprocess tests inherit the override through os.environ.
+    """
+    previous = os.environ.get("REPRO_LEDGER_DIR")
+    os.environ["REPRO_LEDGER_DIR"] = str(
+        tmp_path_factory.mktemp("ledger"))
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_LEDGER_DIR", None)
+    else:
+        os.environ["REPRO_LEDGER_DIR"] = previous
 
 # A small but representative program: peeking FIR, duplicate splitjoin,
 # rate conversion, scalar filter state and randomized input.

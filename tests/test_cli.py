@@ -365,3 +365,110 @@ class TestExitCodes:
                         "--native", "--inject", "cc-timeout:1")
         assert proc.returncode == 0
         assert "degraded to interpreter results" in proc.stderr
+
+
+class TestLedgerExitCodes:
+    """``history``/``compare`` subprocess coverage: 0 ok, 1 regression,
+    2 usage or unresolvable/missing ledger — never a raw traceback."""
+
+    cli = TestExitCodes.cli
+
+    @pytest.fixture()
+    def seeded_ledger(self, tmp_path):
+        """A ledger with a fast and a 2x-slower record for one target."""
+        from repro.obs import ledger
+        directory = tmp_path / "ledger"
+        ledger.append(ledger.make_body("run", "tiny", seconds=1.0,
+                                       checksum="aa"), directory)
+        ledger.append(ledger.make_body("run", "tiny", seconds=2.0,
+                                       checksum="aa"), directory)
+        return {"REPRO_LEDGER_DIR": str(directory)}
+
+    def test_history_after_runs_is_zero(self, tiny_file, tmp_path):
+        env = {"REPRO_LEDGER_DIR": str(tmp_path / "ledger")}
+        assert self.cli("run", tiny_file, "-n", "2", "--quiet",
+                        env_extra=env).returncode == 0
+        proc = self.cli("history", "tiny", env_extra=env)
+        assert proc.returncode == 0
+        assert "~0" in proc.stdout
+
+    def test_history_json(self, seeded_ledger):
+        proc = self.cli("history", "tiny", "--json",
+                        env_extra=seeded_ledger)
+        assert proc.returncode == 0
+        records = json.loads(proc.stdout)
+        assert len(records) == 2
+        assert records[-1]["body"]["seconds"] == 2.0
+
+    def test_compare_identical_is_zero(self, seeded_ledger):
+        proc = self.cli("compare", "tiny~1", "tiny~1",
+                        env_extra=seeded_ledger)
+        assert proc.returncode == 0
+        assert "regression: no" in proc.stdout
+
+    def test_compare_2x_slowdown_is_one(self, seeded_ledger):
+        proc = self.cli("compare", "tiny~1", "tiny~0",
+                        env_extra=seeded_ledger)
+        assert proc.returncode == 1
+        assert "regression: YES" in proc.stdout
+        assert "Traceback" not in proc.stderr
+
+    def test_compare_threshold_overrides(self, seeded_ledger):
+        proc = self.cli("compare", "tiny~1", "tiny~0",
+                        "--threshold", "1.5", env_extra=seeded_ledger)
+        assert proc.returncode == 0
+
+    def test_compare_json_output(self, seeded_ledger):
+        proc = self.cli("compare", "tiny~1", "tiny~0", "--json",
+                        env_extra=seeded_ledger)
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        assert payload["regression"] is True
+        assert payload["metric_before"] == 1.0
+        assert payload["metric_after"] == 2.0
+
+    def test_history_usage_error_is_two(self):
+        proc = self.cli("history")  # missing the target operand
+        assert proc.returncode == 2
+
+    def test_compare_usage_error_is_two(self):
+        proc = self.cli("compare", "only-one-ref")
+        assert proc.returncode == 2
+
+    def test_unknown_ref_is_two(self, seeded_ledger):
+        proc = self.cli("compare", "tiny", "no-such-target",
+                        env_extra=seeded_ledger)
+        assert proc.returncode == 2
+        assert "no ledger record" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    def test_missing_ledger_is_two(self, tmp_path):
+        env = {"REPRO_LEDGER_DIR": str(tmp_path / "never-created")}
+        proc = self.cli("history", "tiny", env_extra=env)
+        assert proc.returncode == 2
+        assert "no ledger at" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    def test_history_past_end_ref_is_two(self, seeded_ledger):
+        proc = self.cli("compare", "tiny~9", "tiny",
+                        env_extra=seeded_ledger)
+        assert proc.returncode == 2
+        assert "past the ledger" in proc.stderr
+
+
+class TestMetricsServe:
+    cli = TestExitCodes.cli
+
+    def test_print_only_emits_valid_exposition(self, tiny_file):
+        proc = self.cli("metrics-serve", tiny_file, "-n", "2",
+                        "--print-only")
+        assert proc.returncode == 0
+        assert proc.stdout.rstrip().endswith("# EOF")
+        assert "repro_" in proc.stdout
+
+    def test_self_check_scrapes_itself(self, tiny_file):
+        proc = self.cli("metrics-serve", tiny_file, "-n", "2",
+                        "--port", "0", "--self-check")
+        assert proc.returncode == 0
+        assert "repro_obs_up 1" in proc.stdout
+        assert proc.stdout.rstrip().endswith("# EOF")

@@ -2,11 +2,12 @@
 
 import json
 import threading
+import urllib.request
 
 import pytest
 
 from repro import compile_source
-from repro.obs import export, metrics, trace
+from repro.obs import bus, export, metrics, sinks, trace
 from tests.conftest import TINY_PROGRAM
 
 
@@ -311,3 +312,259 @@ class TestExporters:
         path = export.write_chrome_trace(roots, tmp_path / "trace.json")
         parsed = json.loads(path.read_text())
         assert parsed["traceEvents"]
+
+
+class TestHistogramPercentiles:
+    """Exact nearest-rank percentiles while n < the reservoir size."""
+
+    @staticmethod
+    def filled(values):
+        hist = metrics.Histogram("h")
+        for value in values:
+            hist.observe(value)
+        return hist
+
+    def test_1_to_100_pins(self):
+        hist = self.filled(range(1, 101))
+        assert hist.percentile(50) == 50
+        assert hist.percentile(90) == 90
+        assert hist.percentile(99) == 99
+        assert hist.percentile(100) == 100
+
+    def test_1_to_10_pins(self):
+        hist = self.filled(range(1, 11))
+        assert hist.percentile(50) == 5
+        assert hist.percentile(90) == 9
+        # p99 of 10 samples is the max, not an interpolated artifact.
+        assert hist.percentile(99) == 10
+
+    def test_order_does_not_matter(self):
+        shuffled = [7, 1, 9, 3, 10, 4, 8, 2, 6, 5]
+        hist = self.filled(shuffled)
+        assert hist.percentile(50) == 5
+        assert hist.percentile(99) == 10
+
+    def test_single_sample(self):
+        hist = self.filled([42.0])
+        for q in (0, 50, 99, 100):
+            assert hist.percentile(q) == 42.0
+
+    def test_empty_histogram(self):
+        assert metrics.Histogram("h").percentile(50) == 0.0
+
+    def test_summary_includes_percentiles(self):
+        summary = self.filled(range(1, 11)).summary()
+        assert summary["p50"] == 5
+        assert summary["p90"] == 9
+        assert summary["p99"] == 10
+
+    def test_decimation_stays_deterministic(self):
+        n = metrics.Histogram.MAX_SAMPLES * 4
+        a = self.filled(range(n))
+        b = self.filled(range(n))
+        assert a.percentile(50) == b.percentile(50)
+        assert a.count == n
+        # Decimated estimates stay within one stride of the true value.
+        assert abs(a.percentile(50) - n / 2) <= a._stride * 2
+
+
+class _ListSink(bus.TelemetrySink):
+    def __init__(self):
+        self.events, self.spans, self.snapshots = [], [], []
+        self.flushes = 0
+
+    def on_event(self, event):
+        self.events.append(event)
+
+    def on_span(self, span):
+        self.spans.append(span)
+
+    def on_metrics(self, snapshot):
+        self.snapshots.append(snapshot)
+
+    def flush(self):
+        self.flushes += 1
+
+
+class TestTelemetryBus:
+    def setup_method(self):
+        self.bus = bus.TelemetryBus()
+
+    def test_events_buffered_without_sinks_or_tracing(self):
+        assert not trace.is_enabled()
+        event = self.bus.emit("native.stall", binary="prog", beats=2)
+        assert event.wall_time > 0
+        assert event.monotonic_ns > 0
+        recent = self.bus.recent_events()
+        assert [e.name for e in recent] == ["native.stall"]
+        assert recent[0].attrs == {"binary": "prog", "beats": 2}
+
+    def test_buffer_is_bounded(self):
+        for index in range(bus.EVENT_BUFFER + 50):
+            self.bus.emit("e", index=index)
+        recent = self.bus.recent_events()
+        assert len(recent) == bus.EVENT_BUFFER
+        assert recent[0].attrs["index"] == 50  # oldest evicted first
+
+    def test_filter_by_name(self):
+        self.bus.emit("a")
+        self.bus.emit("b")
+        self.bus.emit("a")
+        assert len(self.bus.recent_events("a")) == 2
+        self.bus.reset_events()
+        assert self.bus.recent_events() == []
+
+    def test_events_fan_out_to_sinks(self):
+        sink = self.bus.add_sink(_ListSink())
+        self.bus.emit("compile.done", filters=3)
+        assert [e.name for e in sink.events] == ["compile.done"]
+
+    def test_flush_pushes_metrics_snapshot(self):
+        sink = self.bus.add_sink(_ListSink())
+        self.bus.flush({"x": 1})
+        assert sink.snapshots == [{"x": 1}]
+        assert sink.flushes == 1
+        self.bus.flush()  # no snapshot -> flush only
+        assert sink.snapshots == [{"x": 1}]
+        assert sink.flushes == 2
+
+    def test_span_hook_installed_only_while_sinks_attached(self):
+        sink = _ListSink()
+        self.bus.add_sink(sink)
+        trace.enable()
+        # The global bus owns the real hook; drive this bus's hook
+        # directly through a span close.
+        trace.set_span_hook(self.bus._span_closed)
+        with trace.span("watched"):
+            pass
+        assert [s.name for s in sink.spans] == ["watched"]
+        self.bus.remove_sink(sink)
+        assert self.bus.sinks() == []
+
+    def test_event_to_dict_coerces_exotic_attrs(self):
+        event = self.bus.emit("e", path=object(), ok=True, n=1)
+        payload = event.to_dict()
+        assert isinstance(payload["attrs"]["path"], str)
+        assert payload["attrs"]["ok"] is True
+        json.dumps(payload)  # fully serializable
+
+    def test_global_bus_helpers(self):
+        bus.get_bus().reset_events()
+        bus.emit_event("global.check", k="v")
+        events = bus.get_bus().recent_events("global.check")
+        assert events and events[-1].attrs == {"k": "v"}
+        bus.get_bus().reset_events()
+
+
+class TestJsonlEventSink:
+    def test_writes_events_spans_and_metrics(self, tmp_path):
+        path = tmp_path / "log" / "events.jsonl"
+        local = bus.TelemetryBus()
+        sink = local.add_sink(sinks.JsonlEventSink(path))
+        local.emit("native.stall", binary="prog")
+        trace.enable()
+        with trace.span("spanned", file="x.str") as span:
+            pass
+        sink.on_span(span)
+        local.flush({"hits": 3})
+        local.remove_sink(sink)  # clears the global span hook
+        sink.close()
+        lines = [json.loads(line)
+                 for line in path.read_text().splitlines()]
+        by_type = {}
+        for line in lines:
+            by_type.setdefault(line["type"], []).append(line)
+        assert [e["name"] for e in by_type["event"]] == ["native.stall"]
+        assert by_type["event"][0]["attrs"] == {"binary": "prog"}
+        span_line = by_type["span"][0]
+        assert span_line["name"] == "spanned"
+        assert span_line["duration_ns"] >= 0
+        assert span_line["attrs"] == {"file": "x.str"}
+        assert by_type["metrics"][0]["metrics"] == {"hits": 3}
+
+    def test_append_only_across_reopen(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        for round_no in range(2):
+            sink = sinks.JsonlEventSink(path)
+            sink.on_event(bus.Event(name=f"round{round_no}"))
+            sink.close()
+        names = [json.loads(line)["name"]
+                 for line in path.read_text().splitlines()]
+        assert names == ["round0", "round1"]
+
+    def test_chrome_trace_sink(self, tmp_path):
+        trace.enable()
+        with trace.span("traced"):
+            pass
+        sink = sinks.ChromeTraceSink(tmp_path / "trace.json")
+        sink.on_metrics({"m": 1})
+        sink.close()
+        parsed = json.loads((tmp_path / "trace.json").read_text())
+        assert any(e["name"] == "traced" for e in parsed["traceEvents"])
+
+
+class TestOpenMetrics:
+    def filled_registry(self):
+        registry = metrics.MetricsRegistry()
+        registry.counter("native.fallback").inc(2)
+        registry.gauge("native.heartbeat.iterations").set(7)
+        hist = registry.histogram("opt.pass_ns")
+        for value in range(1, 11):
+            hist.observe(float(value))
+        return registry
+
+    def test_exposition_shape(self):
+        text = sinks.to_openmetrics(self.filled_registry())
+        assert text.endswith("# EOF\n")
+        assert "# TYPE repro_native_fallback counter" in text
+        assert "repro_native_fallback_total 2" in text
+        assert "# TYPE repro_native_heartbeat_iterations gauge" in text
+        assert "repro_native_heartbeat_iterations 7" in text
+        assert "# TYPE repro_opt_pass_ns summary" in text
+        assert 'repro_opt_pass_ns{quantile="0.5"} 5.0' in text
+        assert 'repro_opt_pass_ns{quantile="0.99"} 10.0' in text
+        assert "repro_opt_pass_ns_count 10" in text
+        assert "repro_opt_pass_ns_sum 55.0" in text
+
+    def test_names_are_sanitized(self):
+        registry = metrics.MetricsRegistry()
+        registry.counter("weird.name-with/chars").inc()
+        text = sinks.to_openmetrics(registry)
+        assert "repro_weird_name_with_chars_total 1" in text
+
+    def test_empty_registry_is_still_valid(self):
+        text = sinks.to_openmetrics(metrics.MetricsRegistry())
+        assert text == "# EOF\n"
+
+    def test_sink_writes_at_flush(self, tmp_path):
+        trace.enable()
+        metrics.registry().reset()
+        metrics.counter("hits").inc()
+        sink = sinks.OpenMetricsSink(tmp_path / "metrics.prom")
+        sink.flush()
+        text = (tmp_path / "metrics.prom").read_text()
+        assert "repro_hits_total 1" in text
+        assert text.endswith("# EOF\n")
+
+    def test_metrics_server_scrape(self):
+        trace.enable()
+        metrics.registry().reset()
+        metrics.gauge("obs.up").set(1)
+        server = sinks.serve_metrics(port=0)
+        try:
+            assert server.port != 0
+            with urllib.request.urlopen(server.url, timeout=5) as resp:
+                assert resp.status == 200
+                assert resp.headers["Content-Type"] == \
+                    sinks.OPENMETRICS_CONTENT_TYPE
+                body = resp.read().decode("utf-8")
+            assert "repro_obs_up 1" in body
+            assert body.endswith("# EOF\n")
+            health = server.url.replace("/metrics", "/healthz")
+            with urllib.request.urlopen(health, timeout=5) as resp:
+                assert resp.read() == b"ok\n"
+            missing = server.url.replace("/metrics", "/nope")
+            with pytest.raises(urllib.error.HTTPError):
+                urllib.request.urlopen(missing, timeout=5)
+        finally:
+            server.stop()
