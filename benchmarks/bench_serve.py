@@ -1,0 +1,132 @@
+"""E12 (extension) — the compile-once daemon's hot-cache payoff.
+
+LaminarIR's pitch is paying for queue reasoning once at compile time;
+the serve daemon extends "once" across requests and processes.  This
+driver starts a daemon on a Unix socket with a cold artifact cache and
+measures, for ``filterbank``:
+
+* **cold** — the first ``/run`` request: frontend + schedule + lower +
+  optimize + codegen + ``cc`` + execute, end to end;
+* **hot** — subsequent ``/run`` requests: one cache lookup plus one
+  ``exec`` of the prebuilt binary.
+
+Every request's checksum must be bit-exact against the cold one (and
+against the in-process interpreter).  ``--check`` enforces the PR's
+acceptance bar: hot throughput >= 10x cold throughput.
+
+Needs a C toolchain; skipped under pytest when none is available.
+"""
+
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+import pytest
+
+from benchmarks.common import emit
+from repro.backend.runner import find_compiler
+from repro.evaluation import format_table
+
+BENCHMARK = "filterbank"
+ITERATIONS = 32
+HOT_REQUESTS = 25
+
+
+def measure() -> dict:
+    from repro.cache import ArtifactCache
+    from repro.serve import ServeClient, ServeServer
+
+    with tempfile.TemporaryDirectory(prefix="bench_serve_") as tmp:
+        server = ServeServer(socket_path=Path(tmp) / "d.sock",
+                             cache=ArtifactCache(Path(tmp) / "cache"))
+        server.start()
+        try:
+            client = ServeClient(socket_path=server.socket_path)
+            assert client.wait_ready(), "daemon did not come up"
+
+            started = time.perf_counter()
+            cold = client.run(benchmark=BENCHMARK, iterations=ITERATIONS,
+                              route="native")
+            cold_seconds = time.perf_counter() - started
+            assert cold.ok, cold.text
+            cold_body = cold.json
+            assert cold_body["cache_hit"] is False
+
+            hot_seconds = 0.0
+            checksums = set()
+            for _ in range(HOT_REQUESTS):
+                started = time.perf_counter()
+                hot = client.run(benchmark=BENCHMARK,
+                                 iterations=ITERATIONS, route="native")
+                hot_seconds += time.perf_counter() - started
+                assert hot.ok, hot.text
+                body = hot.json
+                assert body["cache_hit"] is True, "expected a cache hit"
+                checksums.add(body["checksum"])
+
+            interp = client.run(benchmark=BENCHMARK,
+                                iterations=ITERATIONS, route="interp")
+            assert interp.ok, interp.text
+        finally:
+            server.stop()
+
+    assert checksums == {cold_body["checksum"]}, \
+        "hot responses diverged from the cold compile"
+    assert interp.json["checksum"] == cold_body["checksum"], \
+        "native route diverged from the interpreter"
+    cold_rps = 1.0 / cold_seconds
+    hot_rps = HOT_REQUESTS / hot_seconds
+    return {
+        "cold_seconds": cold_seconds,
+        "hot_seconds_per_request": hot_seconds / HOT_REQUESTS,
+        "cold_requests_per_second": cold_rps,
+        "hot_requests_per_second": hot_rps,
+        "speedup": hot_rps / cold_rps,
+        "checksum": cold_body["checksum"],
+    }
+
+
+def build_report() -> tuple[str, dict]:
+    data = measure()
+    rows = [
+        ["cold (compile+run)", f"{data['cold_seconds'] * 1e3:.1f}",
+         f"{data['cold_requests_per_second']:.2f}"],
+        ["hot (cached binary)",
+         f"{data['hot_seconds_per_request'] * 1e3:.1f}",
+         f"{data['hot_requests_per_second']:.2f}"],
+    ]
+    table = format_table(
+        ["request", "ms/request", "requests/s"], rows,
+        title=f"serve daemon on {BENCHMARK} ({ITERATIONS} iterations, "
+              f"{HOT_REQUESTS} hot requests, checksum "
+              f"{data['checksum']}, bit-exact): "
+              f"{data['speedup']:.1f}x hot-over-cold")
+    return table, data
+
+
+def test_serve_hot_cache(benchmark):
+    if find_compiler() is None:
+        pytest.skip("no C compiler on PATH")
+    table, data = build_report()
+    emit("serve_hot_cache", table, data)
+    # The tentpole's acceptance bar: compiling once must buy at least
+    # an order of magnitude in request throughput.
+    assert data["speedup"] >= 10.0
+    assert data["checksum"] == data["checksum"].lower()
+    benchmark(lambda: data["speedup"])
+
+
+if __name__ == "__main__":
+    table, data = build_report()
+    print()
+    print(table)
+    if "--check" in sys.argv:
+        if data["speedup"] < 10.0:
+            print(f"FAIL: hot/cold speedup {data['speedup']:.1f}x < 10x")
+            raise SystemExit(1)
+        print(f"OK: hot/cold speedup {data['speedup']:.1f}x >= 10x, "
+              "checksums bit-exact")

@@ -47,12 +47,39 @@ def _options_key(options: object) -> object:
     repr (``field(repr=False)``) or override ``__repr__`` entirely, so
     distinct nested ``PromoteOptions`` can collide.  Recursing over
     ``dataclasses.fields`` keys on what actually changes behavior.
+
+    Container field values are normalized recursively — lists/tuples to
+    tuples, dicts to sorted item tuples, sets to sorted tuples — so a
+    field like ``OptOptions.pipeline`` holding a list is a valid key
+    component instead of raising ``TypeError: unhashable type``.
     """
     if dataclasses.is_dataclass(options) and not isinstance(options, type):
         return (type(options).__qualname__,) + tuple(
             (f.name, _options_key(getattr(options, f.name)))
             for f in dataclasses.fields(options))
+    if isinstance(options, (list, tuple)):
+        return tuple(_options_key(item) for item in options)
+    if isinstance(options, dict):
+        return tuple(sorted(
+            (key, _options_key(value)) for key, value in options.items()))
+    if isinstance(options, (set, frozenset)):
+        return tuple(sorted((_options_key(item) for item in options),
+                            key=repr))
     return options
+
+
+def options_fingerprint(lowering: "LoweringOptions | None" = None,
+                        opt: "OptOptions | None" = None) -> str:
+    """Deterministic text form of the normalized options key.
+
+    This is the persistent artifact cache's options component (see
+    :mod:`repro.cache`): the same normalization that keys the in-process
+    ``CompiledStream.lower`` memo, rendered via ``repr`` of nested plain
+    tuples so equal options always produce equal strings.
+    """
+    return repr((_options_key(lowering if lowering is not None
+                              else LoweringOptions()),
+                 _options_key(opt if opt is not None else OptOptions())))
 
 
 @dataclass

@@ -15,9 +15,24 @@ native output streams are bit-identical to the Python interpreters.
 
 from __future__ import annotations
 
+import hashlib
 import struct
 
 from repro.frontend.types import BOOLEAN, FLOAT, INT, ScalarType
+
+
+def runtime_digest() -> str:
+    """sha256 (truncated) over every shared C runtime snippet.
+
+    Part of each backend's codegen fingerprint (see
+    ``codegen_fingerprint`` in :mod:`repro.backend.laminar_c` /
+    :mod:`repro.backend.fifo_c`): editing the prelude, the main harness
+    or the profile/heartbeat runtime changes the digest and therefore
+    invalidates every cached artifact built from the old runtime.
+    """
+    payload = "\n".join((C_PRELUDE, C_MAIN, C_MAIN_PROFILE,
+                         str(C_PROFILE_BUCKETS), C_HEARTBEAT_RUNTIME))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:12]
 
 C_PRELUDE = r"""
 #include <stdio.h>

@@ -269,6 +269,18 @@ static inline {ty} {name}_peek(int i) {{
         self.chunks.append("\n".join(lines))
 
 
+# Bump whenever this module changes the C it emits for the *same*
+# program: the persistent artifact cache keys on codegen_fingerprint().
+CODEGEN_VERSION = 1
+
+
+def codegen_fingerprint() -> str:
+    """Deterministic identity of this code generator (see the laminar
+    backend's twin for the rationale)."""
+    from repro.backend.common import runtime_digest
+    return f"fifo-c/{CODEGEN_VERSION}+{runtime_digest()}"
+
+
 def generate_fifo_c(schedule: Schedule, source: str = "",
                     options: FifoCodegenOptions | None = None,
                     profile: bool = False) -> str:

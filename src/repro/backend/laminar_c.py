@@ -236,6 +236,23 @@ class LaminarCBackend:
         return f"{c_name}({args})"
 
 
+# Bump whenever this module changes the C it emits for the *same*
+# program: the persistent artifact cache keys on codegen_fingerprint().
+CODEGEN_VERSION = 1
+
+
+def codegen_fingerprint() -> str:
+    """Deterministic identity of this code generator.
+
+    Combines the backend's explicit :data:`CODEGEN_VERSION` with a
+    digest of the shared C runtime, so both an intentional codegen bump
+    and an edit to the common prelude/harness invalidate cached
+    artifacts built by older generators.
+    """
+    from repro.backend.common import runtime_digest
+    return f"laminar-c/{CODEGEN_VERSION}+{runtime_digest()}"
+
+
 def generate_laminar_c(program: Program, profile: bool = False) -> str:
     """Generate the complete LaminarIR C program.
 

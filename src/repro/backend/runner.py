@@ -118,6 +118,36 @@ def find_compiler() -> str | None:
     return None
 
 
+# compiler path -> fingerprint, so hot cache lookups don't re-exec
+# ``cc --version`` per request.
+_compiler_fingerprints: dict[str, str] = {}
+
+
+def compiler_fingerprint() -> str | None:
+    """Stable identity of the host toolchain, for artifact cache keys.
+
+    ``<compiler path> <first line of --version>`` — enough that a
+    compiler upgrade (or switching cc → clang) changes every cache key
+    built with it.  ``None`` when no compiler is on PATH.
+    """
+    compiler = find_compiler()
+    if compiler is None:
+        return None
+    cached = _compiler_fingerprints.get(compiler)
+    if cached is not None:
+        return cached
+    try:
+        result = subprocess.run([compiler, "--version"],
+                                capture_output=True, text=True, timeout=30)
+        version = result.stdout.splitlines()[0].strip() \
+            if result.stdout else "unknown-version"
+    except (OSError, subprocess.TimeoutExpired, IndexError):
+        version = "unknown-version"
+    fingerprint = f"{compiler} {version}"
+    _compiler_fingerprints[compiler] = fingerprint
+    return fingerprint
+
+
 # -- artifact lifecycle -------------------------------------------------------
 
 # CLI-installed override for keep-on-success; None defers to the

@@ -34,6 +34,17 @@ Commands
 ``compare RUN_A RUN_B [--threshold F] [--metric M]``
     Diff two ledger records; exits 1 when the primary metric regressed
     past the threshold, 2 on a bad reference or missing ledger.
+``cache stats|gc|clear``
+    Manage the persistent native-artifact cache under ``.repro/cache/``
+    (override with ``REPRO_CACHE_DIR``; size cap via
+    ``REPRO_CACHE_MAX_BYTES``).  Every native build is content-addressed
+    by (spec, options, backend, compiler, codegen version) and reused
+    across processes — see ``docs/SERVING.md``.
+``serve [--socket PATH | --port N]``
+    The compile-once daemon: a threaded HTTP API (``POST /compile``,
+    ``POST /run``, ``GET /metrics``, ``GET /cache/stats``) over the
+    artifact cache, with single-flight compilation dedup and
+    per-request admission control (``--limits``, ``--max-iterations``).
 ``metrics-serve [TARGET]``
     Serve the metrics registry as Prometheus/OpenMetrics text on a
     stdlib HTTP endpoint (``/metrics``, ``/healthz``); ``--self-check``
@@ -701,6 +712,72 @@ def cmd_metrics_serve(args: argparse.Namespace) -> int:
         server.stop()
 
 
+def cmd_cache(args: argparse.Namespace) -> int:
+    from repro.cache import ArtifactCache
+
+    cache = ArtifactCache(Path(args.dir) if args.dir else None)
+    if args.action == "stats":
+        print(json.dumps(cache.stats(), indent=2, sort_keys=True))
+        return 0
+    if args.action == "gc":
+        result = cache.gc(args.max_bytes)
+        print(f"# cache gc: evicted {result['evicted']} entr"
+              f"{'y' if result['evicted'] == 1 else 'ies'}, "
+              f"{result['entries']} left ({result['bytes']} bytes)",
+              file=sys.stderr)
+        return 0
+    removed = cache.clear()
+    print(f"# cache clear: removed {removed} entr"
+          f"{'y' if removed == 1 else 'ies'} from {cache.root}",
+          file=sys.stderr)
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.cache import ArtifactCache
+    from repro.serve import ServeServer
+
+    cache = ArtifactCache(Path(args.cache_dir) if args.cache_dir else None)
+    limits = getattr(args, "limits", None)
+    if limits is not None:
+        limits = active_limits().merged(limits)
+    elif active_limits() != ResourceLimits():
+        limits = active_limits()
+    server = ServeServer(
+        host=args.host, port=args.port,
+        socket_path=args.socket, cache=cache, limits=limits,
+        max_iterations=args.max_iterations).start()
+    print(f"serving compile/run API at {server.url} "
+          "(POST /compile, POST /run, GET /metrics, GET /cache/stats; "
+          "see docs/SERVING.md)", file=sys.stderr)
+    try:
+        if args.self_check:
+            from repro.serve import ServeClient
+            client = (ServeClient(socket_path=args.socket)
+                      if args.socket else
+                      ServeClient(host=server.host, port=server.port))
+            if not client.wait_ready():
+                print("error: daemon did not answer /healthz",
+                      file=sys.stderr)
+                return 1
+            response = client.run(benchmark="autocor", iterations=4)
+            if not response.ok:
+                print(f"error: self-check run failed: {response.text}",
+                      file=sys.stderr)
+                return 1
+            body = response.json
+            print(f"# self-check ok: {body['stream']} checksum "
+                  f"{body['checksum']} via {body['route']}",
+                  file=sys.stderr)
+            return 0
+        while True:  # pragma: no cover - interactive serve loop
+            time.sleep(3600)
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        return 0
+    finally:
+        server.stop()
+
+
 def cmd_list(_args: argparse.Namespace) -> int:
     rows = []
     for name in benchmark_names(include_extras=True):
@@ -879,6 +956,51 @@ def build_parser() -> argparse.ArgumentParser:
                             "without binding a socket")
     _add_opt_arguments(serve)
     serve.set_defaults(func=cmd_metrics_serve)
+
+    cache = sub.add_parser(
+        "cache",
+        help="manage the persistent native-artifact cache")
+    cache.add_argument("action", choices=("stats", "gc", "clear"),
+                       help="stats: JSON store statistics; gc: evict "
+                            "LRU entries past the size cap; clear: "
+                            "remove everything")
+    cache.add_argument("--dir", metavar="PATH",
+                       help="cache root (default .repro/cache, or "
+                            "REPRO_CACHE_DIR)")
+    cache.add_argument("--max-bytes", type=int, default=None,
+                       metavar="N",
+                       help="with gc: evict down to N bytes (default: "
+                            "the configured cap)")
+    cache.set_defaults(func=cmd_cache)
+
+    daemon = sub.add_parser(
+        "serve",
+        help="run the compile-once daemon: compile/run over HTTP or a "
+             "Unix socket, backed by the artifact cache")
+    daemon.add_argument("--host", default="127.0.0.1")
+    daemon.add_argument("--port", type=int, default=9465,
+                        help="TCP port to bind (default 9465; 0 = "
+                             "ephemeral; ignored with --socket)")
+    daemon.add_argument("--socket", metavar="PATH", default=None,
+                        help="serve on a Unix domain socket at PATH "
+                             "instead of TCP")
+    daemon.add_argument("--cache-dir", metavar="PATH",
+                        help="cache root (default .repro/cache, or "
+                             "REPRO_CACHE_DIR)")
+    daemon.add_argument("--limits", type=_limits_spec, metavar="SPEC",
+                        help="admission-control resource limits applied "
+                             "to every request (merged over "
+                             "REPRO_LIMITS; requests may tighten, "
+                             "e.g. 'ops=200000,seconds=30')")
+    daemon.add_argument("--max-iterations", type=int, default=1_000_000,
+                        metavar="N",
+                        help="reject /run requests asking for more than "
+                             "N iterations (default 1000000)")
+    daemon.add_argument("--self-check", action="store_true",
+                        help="serve, round-trip one /run request "
+                             "through the daemon, print its checksum, "
+                             "exit")
+    daemon.set_defaults(func=cmd_serve)
 
     lst = sub.add_parser("list", help="list the benchmark suite")
     lst.set_defaults(func=cmd_list)

@@ -25,6 +25,7 @@ fuzz oracle treats it like any other structured compile diagnostic.
 from __future__ import annotations
 
 import os
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, fields, replace
@@ -137,14 +138,18 @@ _UNLIMITED = ResourceLimits()
 # Ambient state: the installed limits (``use_limits``) win over the
 # REPRO_LIMITS environment variable; the parsed env spec is memoized on
 # its string value so hot paths can call ``active_limits`` freely.
-_installed: ResourceLimits | None = None
+# Installed limits and the wall-clock deadline are *thread-local*, so
+# the serve daemon can apply per-request admission limits from handler
+# threads without requests bleeding budgets into each other.
+_tls = threading.local()
 _env_cache: tuple[str | None, ResourceLimits] = (None, _UNLIMITED)
 
 
 def active_limits() -> ResourceLimits:
     """The limits in effect: installed > ``REPRO_LIMITS`` env > unlimited."""
-    if _installed is not None:
-        return _installed
+    installed = getattr(_tls, "installed", None)
+    if installed is not None:
+        return installed
     spec = os.environ.get("REPRO_LIMITS")
     global _env_cache
     if _env_cache[0] != spec:
@@ -155,21 +160,22 @@ def active_limits() -> ResourceLimits:
 
 @contextmanager
 def use_limits(limits: ResourceLimits) -> Iterator[ResourceLimits]:
-    """Install ``limits`` as the ambient configuration for a scope."""
-    global _installed
-    previous = _installed
-    _installed = limits
+    """Install ``limits`` as the ambient configuration for a scope.
+
+    The installation is thread-local: limits installed in one thread are
+    invisible to every other (each serve request carries its own)."""
+    previous = getattr(_tls, "installed", None)
+    _tls.installed = limits
     try:
         yield limits
     finally:
-        _installed = previous
+        _tls.installed = previous
 
 
 # -- wall-clock budget --------------------------------------------------------
 
-# (deadline, budget_seconds) of the innermost active compile budget.
-_deadline: tuple[float, float] | None = None
-
+# (deadline, budget_seconds) of the innermost active compile budget;
+# one slot per thread, like the installed limits.
 
 @contextmanager
 def compile_budget() -> Iterator[None]:
@@ -179,19 +185,18 @@ def compile_budget() -> Iterator[None]:
     whole ``compile_source`` or ``CompiledStream.lower`` invocation that
     opened it); without a ``compile_seconds`` limit this is free.
     """
-    global _deadline
-    if _deadline is not None:
+    if getattr(_tls, "deadline", None) is not None:
         yield
         return
     budget = active_limits().compile_seconds
     if budget is None:
         yield
         return
-    _deadline = (time.monotonic() + budget, budget)
+    _tls.deadline = (time.monotonic() + budget, budget)
     try:
         yield
     finally:
-        _deadline = None
+        _tls.deadline = None
 
 
 def check_deadline(where: str) -> None:
@@ -200,9 +205,10 @@ def check_deadline(where: str) -> None:
     Called at loop boundaries of every potentially unbounded stage
     (schedule fixpoints, per-firing lowering, optimizer rounds).
     """
-    if _deadline is None:
+    state = getattr(_tls, "deadline", None)
+    if state is None:
         return
-    deadline, budget = _deadline
+    deadline, budget = state
     now = time.monotonic()
     if now > deadline:
         raise ResourceExhausted(

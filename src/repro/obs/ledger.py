@@ -90,7 +90,10 @@ def make_body(kind: str, target: str, *, spec_hash: str | None = None,
     return {key: value for key, value in body.items() if value is not None}
 
 
-_FILE_RE = re.compile(r"^(\d{6})-([0-9a-f]{12})\.json$")
+# Current records are keyed by sequence number alone; the legacy
+# ``NNNNNN-rid12.json`` form (PR 6) is still read, and still counts when
+# scanning for the next free sequence number.
+_FILE_RE = re.compile(r"^(\d{6})(?:-([0-9a-f]{12}))?\.json$")
 
 
 def append(body: dict, directory: Path | None = None) -> dict:
@@ -100,16 +103,22 @@ def append(body: dict, directory: Path | None = None) -> dict:
     rid = record_id(body)
     seq = _next_seq(directory)
     while True:
-        envelope = {"record_id": rid, "seq": seq,
-                    "wall_time": time.time(), "body": body}
-        path = directory / f"{seq:06d}-{rid[:12]}.json"
+        # The claim file is keyed by the sequence number *alone*, so two
+        # concurrent appends can never both own one seq.  (The legacy
+        # rid-suffixed naming only collided when two racing records
+        # shared a 12-hex record-id prefix, which is to say never — both
+        # writers then minted the same seq under different filenames.)
+        if any(directory.glob(f"{seq:06d}-*.json")):
+            seq += 1  # a legacy record already owns this seq
+            continue
+        path = directory / f"{seq:06d}.json"
         try:
-            # O_EXCL so two concurrent appends can't clobber one file;
-            # the loser just takes the next sequence number.
             fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
         except FileExistsError:
             seq += 1
             continue
+        envelope = {"record_id": rid, "seq": seq,
+                    "wall_time": time.time(), "body": body}
         with os.fdopen(fd, "w", encoding="utf-8") as handle:
             json.dump(envelope, handle, sort_keys=True, indent=1)
             handle.write("\n")

@@ -120,6 +120,25 @@ class OptOptions:
     # after every pass (slow; for tests and pass development).
     verify_analyses: bool = False
 
+    def __setattr__(self, name: str, value: object) -> None:
+        # Every pipeline assignment path — the constructor included —
+        # coerces to a canonical tuple[str, ...] and validates pass names
+        # up front, so API users get the same error the CLI's
+        # --opt-pipeline type raises instead of a late TypeError deep in
+        # the lowering cache.
+        if name == "pipeline" and value is not None:
+            if isinstance(value, str):
+                value = parse_pipeline(value)
+            else:
+                try:
+                    spec = ",".join(value)  # type: ignore[arg-type]
+                except TypeError:
+                    raise TypeError(
+                        "OptOptions.pipeline must be a string or an "
+                        f"iterable of pass names, got {value!r}") from None
+                value = parse_pipeline(spec)
+        super().__setattr__(name, value)
+
     @classmethod
     def none(cls) -> "OptOptions":
         return cls(copy_propagation=False, promote_state=False,

@@ -1,0 +1,15 @@
+"""``python -m repro serve``: the compile-once daemon.
+
+:class:`ServeServer` (in :mod:`repro.serve.daemon`) exposes the
+persistent artifact cache over HTTP — TCP or a Unix domain socket —
+with single-flight compilation dedup and per-request admission control;
+:class:`ServeClient` (in :mod:`repro.serve.client`) is the matching
+stdlib-only client used by the tests, the benchmark and CI.
+"""
+
+from repro.serve.client import ServeClient, UnixHTTPConnection
+from repro.serve.daemon import (ApiError, DEFAULT_MAX_ITERATIONS,
+                                DEFAULT_PORT, ServeServer)
+
+__all__ = ["ApiError", "DEFAULT_MAX_ITERATIONS", "DEFAULT_PORT",
+           "ServeClient", "ServeServer", "UnixHTTPConnection"]

@@ -1,0 +1,119 @@
+"""A stdlib-only client for the serve daemon (TCP or Unix socket).
+
+Used by the test suite, ``benchmarks/bench_serve.py`` and the CI smoke
+job; third parties can talk plain HTTP with anything (the Unix-socket
+transport is ordinary HTTP/1.1 over an ``AF_UNIX`` stream, the same
+framing ``curl --unix-socket`` speaks).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from pathlib import Path
+
+
+class UnixHTTPConnection(http.client.HTTPConnection):
+    """``http.client`` over an ``AF_UNIX`` stream socket."""
+
+    def __init__(self, socket_path: "str | Path",
+                 timeout: float = 60.0):
+        # The "host" only feeds the Host: header; any token works.
+        super().__init__("localhost", timeout=timeout)
+        self.socket_path = str(socket_path)
+
+    def connect(self) -> None:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        sock.connect(self.socket_path)
+        self.sock = sock
+
+
+class ServeResponse:
+    """One decoded response: status code plus parsed body."""
+
+    def __init__(self, status: int, content_type: str, raw: bytes):
+        self.status = status
+        self.content_type = content_type
+        self.raw = raw
+
+    @property
+    def json(self) -> dict:
+        return json.loads(self.raw.decode("utf-8"))
+
+    @property
+    def text(self) -> str:
+        return self.raw.decode("utf-8")
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+class ServeClient:
+    """Convenience wrapper over the daemon's JSON API."""
+
+    def __init__(self, *, socket_path: "str | Path | None" = None,
+                 host: str = "127.0.0.1", port: int | None = None,
+                 timeout: float = 120.0):
+        if (socket_path is None) == (port is None):
+            raise ValueError("exactly one of socket_path or port required")
+        self.socket_path = socket_path
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self.socket_path is not None:
+            return UnixHTTPConnection(self.socket_path,
+                                      timeout=self.timeout)
+        return http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+
+    def request(self, method: str, path: str,
+                payload: dict | None = None) -> ServeResponse:
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        connection = self._connection()
+        try:
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            return ServeResponse(response.status,
+                                 response.getheader("Content-Type", ""),
+                                 response.read())
+        finally:
+            connection.close()
+
+    # -- endpoint helpers -----------------------------------------------------
+
+    def healthz(self) -> ServeResponse:
+        return self.request("GET", "/healthz")
+
+    def metrics(self) -> str:
+        return self.request("GET", "/metrics").text
+
+    def cache_stats(self) -> dict:
+        return self.request("GET", "/cache/stats").json
+
+    def compile(self, **fields) -> ServeResponse:
+        return self.request("POST", "/compile", fields)
+
+    def run(self, **fields) -> ServeResponse:
+        return self.request("POST", "/run", fields)
+
+    def wait_ready(self, timeout: float = 10.0) -> bool:
+        """Poll ``/healthz`` until the daemon answers (or timeout)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            try:
+                if self.healthz().ok:
+                    return True
+            except OSError:
+                pass
+            time.sleep(0.05)
+        return False

@@ -1,0 +1,473 @@
+"""The compile-once, serve-forever daemon: ``python -m repro serve``.
+
+A small threaded HTTP API (TCP or Unix domain socket) over the
+persistent artifact cache (:mod:`repro.cache`):
+
+* ``POST /compile`` — ensure a native artifact exists for a spec
+  (``{"source": ...}`` or ``{"benchmark": "filterbank"}``, optional
+  ``backend``/``pipeline``/``no_opt``/``no_elim``/``limits``); returns
+  the cache key and whether it was a hit.
+* ``POST /run`` — execute a spec (same fields plus ``iterations`` and
+  ``route``: ``"native"`` runs the cached prebuilt binary, ``"interp"``
+  the laminar interpreter, ``"auto"`` — the default — degrades from
+  native to interpreter when the toolchain is missing); returns the
+  checksum, output count and timing.  Appends a ``serve`` record to the
+  run ledger.
+* ``GET /metrics`` — the PR 6 OpenMetrics exposition (cache hit/miss/
+  evict counters included); ``GET /healthz``; ``GET /cache/stats``.
+
+Concurrent compilations of the *same* cache key are deduplicated: one
+request builds, the rest wait and read the published entry
+(``serve.inflight.coalesced`` counts the waiters).  Distinct keys build
+concurrently.
+
+Admission control: the server's default :class:`ResourceLimits` (from
+``--limits``/``REPRO_LIMITS``) merged with the request's own ``limits``
+spec is installed thread-locally around every compile, and a request
+asking for more than ``max_iterations`` is rejected outright.  The PR 5
+exit-code taxonomy maps onto the error model::
+
+    HTTP 400  {"kind": "usage",              "exit_code": 2}
+    HTTP 422  {"kind": "compile-error",      "exit_code": 1}
+    HTTP 429  {"kind": "resource-exhausted", "exit_code": 3}
+    HTTP 503  {"kind": "native-<stage>",     "exit_code": 4}
+    HTTP 500  {"kind": "internal",           "exit_code": 1}
+
+See ``docs/SERVING.md`` for the full API reference.
+"""
+
+from __future__ import annotations
+
+import collections
+import hashlib
+import json
+import socketserver
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+from repro.api import CompiledStream, compile_source
+from repro.backend import runner
+from repro.backend.common import checksum_outputs
+from repro.cache import (ArtifactCache, BACKENDS, build_native, native_key)
+from repro.faults import (ResourceExhausted, ResourceLimits, use_limits)
+from repro.frontend.errors import CompileError
+from repro.lir import LoweringOptions
+from repro.obs import bus as obs_bus
+from repro.obs import ledger as obs_ledger
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.sinks import OPENMETRICS_CONTENT_TYPE, to_openmetrics
+from repro.opt import OptOptions
+from repro.suite import BENCHMARKS, load_benchmark
+
+DEFAULT_PORT = 9465
+DEFAULT_MAX_ITERATIONS = 1_000_000
+
+# How many frontend-compiled streams to keep in memory, keyed by source
+# hash: the hot path then touches neither the parser nor the scheduler.
+STREAM_MEMO_SIZE = 128
+
+
+class ApiError(Exception):
+    """A request-level failure with an HTTP status and exit-code tag."""
+
+    def __init__(self, status: int, kind: str, exit_code: int,
+                 message: str):
+        super().__init__(message)
+        self.status = status
+        self.kind = kind
+        self.exit_code = exit_code
+
+    def payload(self) -> dict:
+        return {"error": str(self), "kind": self.kind,
+                "exit_code": self.exit_code}
+
+
+def _usage(message: str) -> ApiError:
+    return ApiError(400, "usage", 2, message)
+
+
+class ServeServer:
+    """The daemon: request parsing, dedup, admission, cache, ledger."""
+
+    def __init__(self, *, host: str = "127.0.0.1", port: int = 0,
+                 socket_path: "str | Path | None" = None,
+                 cache: ArtifactCache | None = None,
+                 limits: ResourceLimits | None = None,
+                 max_iterations: int = DEFAULT_MAX_ITERATIONS,
+                 ledger: bool = True):
+        self.cache = cache if cache is not None else ArtifactCache()
+        self.limits = limits
+        self.max_iterations = max_iterations
+        self.ledger = ledger
+        self.started_at = time.time()
+        self._streams: "collections.OrderedDict[str, CompiledStream]" = \
+            collections.OrderedDict()
+        self._streams_lock = threading.Lock()
+        self._inflight: dict[str, threading.Event] = {}
+        self._flight_lock = threading.Lock()
+        self._thread: threading.Thread | None = None
+        # /metrics serves the metrics registry; instruments are gated on
+        # tracing, so a serving process keeps it enabled.
+        self._trace_was_enabled = obs_trace.is_enabled()
+        if not self._trace_was_enabled:
+            obs_trace.enable(reset=False)
+        self.socket_path: str | None = None
+        if socket_path is not None:
+            self.socket_path = str(socket_path)
+            path = Path(self.socket_path)
+            if path.exists():
+                path.unlink()
+            self._server = _UnixServer(self.socket_path, _Handler)
+        else:
+            self._server = _TcpServer((host, port), _Handler)
+        self._server.owner = self
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def host(self) -> str | None:
+        if self.socket_path is not None:
+            return None
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int | None:
+        if self.socket_path is not None:
+            return None
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        if self.socket_path is not None:
+            return f"unix:{self.socket_path}"
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ServeServer":
+        self._thread = threading.Thread(target=self._server.serve_forever,
+                                        name="repro-serve", daemon=True)
+        self._thread.start()
+        obs_bus.emit_event("serve.start", url=self.url,
+                           cache_root=str(self.cache.root))
+        return self
+
+    def stop(self) -> None:
+        if self._thread is not None:
+            self._server.shutdown()
+            self._thread.join(timeout=5)
+            self._thread = None
+        self._server.server_close()
+        if self.socket_path is not None:
+            try:
+                Path(self.socket_path).unlink()
+            except OSError:
+                pass
+        if not self._trace_was_enabled:
+            obs_trace.disable()
+
+    # -- request plumbing -----------------------------------------------------
+
+    def handle(self, method: str, path: str,
+               body: bytes) -> tuple[int, str, bytes]:
+        """Dispatch one request; returns (status, content-type, body)."""
+        obs_metrics.counter("serve.requests").inc()
+        try:
+            if method == "GET" and path in ("/healthz", "/"):
+                return self._json(200, {
+                    "status": "ok",
+                    "uptime_seconds": time.time() - self.started_at,
+                    "cache_root": str(self.cache.root)})
+            if method == "GET" and path == "/metrics":
+                text = to_openmetrics().encode("utf-8")
+                return 200, OPENMETRICS_CONTENT_TYPE, text
+            if method == "GET" and path == "/cache/stats":
+                return self._json(200, self.cache.stats())
+            if method == "POST" and path == "/compile":
+                return self._json(200, self._compile(_parse_body(body)))
+            if method == "POST" and path == "/run":
+                return self._json(200, self._run(_parse_body(body)))
+            raise ApiError(404, "usage", 2,
+                           f"no such endpoint: {method} {path}")
+        except ApiError as error:
+            return self._error(error)
+        except ResourceExhausted as error:
+            obs_metrics.counter("serve.admission.rejected").inc()
+            payload = ApiError(429, "resource-exhausted", 3,
+                               error.message).payload()
+            payload.update(resource=error.resource, limit=error.limit,
+                           actual=error.actual, where=error.where)
+            return self._json(429, payload)
+        except CompileError as error:
+            return self._error(
+                ApiError(422, "compile-error", 1, error.format()))
+        except runner.NativeToolchainError as error:
+            return self._error(
+                ApiError(503, f"native-{error.stage}", 4, str(error)))
+        except Exception as error:  # noqa: BLE001 - the API boundary
+            obs_metrics.counter("serve.errors").inc()
+            return self._error(
+                ApiError(500, "internal", 1,
+                         f"{type(error).__name__}: {error}"))
+
+    def _json(self, status: int, payload: dict) -> tuple[int, str, bytes]:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        return status, "application/json", body
+
+    def _error(self, error: ApiError) -> tuple[int, str, bytes]:
+        if error.status >= 500:
+            obs_metrics.counter("serve.errors").inc()
+        obs_bus.emit_event("serve.error", kind=error.kind,
+                           status=error.status, message=str(error)[:200])
+        return self._json(error.status, error.payload())
+
+    # -- endpoints ------------------------------------------------------------
+
+    def _compile(self, request: dict) -> dict:
+        parsed = self._parse_common(request)
+        started = time.monotonic()
+        with self._admission(parsed):
+            stream, stream_cached = self._stream(parsed)
+            entry, hit, key = self._ensure_entry(stream, parsed)
+        return {
+            "key": key,
+            "cache_hit": hit,
+            "stream": stream.name,
+            "stream_cached": stream_cached,
+            "backend": parsed["backend"],
+            "components": entry.components,
+            "build_seconds": entry.meta.get("build_seconds"),
+            "wall_seconds": time.monotonic() - started,
+        }
+
+    def _run(self, request: dict) -> dict:
+        parsed = self._parse_common(request)
+        iterations = request.get("iterations", 10)
+        if not isinstance(iterations, int) or iterations <= 0:
+            raise _usage(f"iterations must be a positive integer, "
+                         f"got {iterations!r}")
+        if iterations > self.max_iterations:
+            raise ApiError(
+                429, "resource-exhausted", 3,
+                f"iterations ({iterations}) exceeds the server's "
+                f"admission cap ({self.max_iterations})")
+        route = request.get("route", "auto")
+        if route not in ("auto", "native", "interp"):
+            raise _usage(f"route must be auto|native|interp, got {route!r}")
+        started = time.monotonic()
+        degraded = False
+        with self._admission(parsed):
+            stream, stream_cached = self._stream(parsed)
+            hit = None
+            key = None
+            if route in ("auto", "native"):
+                try:
+                    entry, hit, key = self._ensure_entry(stream, parsed)
+                except runner.NativeCompileError as error:
+                    if route == "native":
+                        raise
+                    from repro.faults import degrade
+                    degrade.record_fallback("serve /run", str(error))
+                    degraded = True
+                else:
+                    run = runner.run_binary(entry.binary, iterations)
+                    result = {"checksum": f"{run.checksum:016x}",
+                              "outputs": run.output_count,
+                              "seconds": run.seconds,
+                              "route": "native"}
+            if route == "interp" or degraded:
+                outputs = stream.run_laminar(
+                    iterations, parsed["lowering"], parsed["opt"]).outputs
+                result = {"checksum": f"{checksum_outputs(outputs):016x}",
+                          "outputs": len(outputs),
+                          "seconds": time.monotonic() - started,
+                          "route": "interp"}
+        result.update(stream=stream.name, iterations=iterations,
+                      cache_hit=hit, key=key, degraded=degraded,
+                      stream_cached=stream_cached,
+                      backend=parsed["backend"],
+                      wall_seconds=time.monotonic() - started)
+        obs_metrics.counter(f"serve.run.{result['route']}").inc()
+        self._ledger_note(stream, parsed, result)
+        return result
+
+    # -- shared request machinery ---------------------------------------------
+
+    def _parse_common(self, request: dict) -> dict:
+        if not isinstance(request, dict):
+            raise _usage("request body must be a JSON object")
+        source = request.get("source")
+        benchmark = request.get("benchmark")
+        if (source is None) == (benchmark is None):
+            raise _usage("exactly one of 'source' or 'benchmark' required")
+        if benchmark is not None and benchmark not in BENCHMARKS:
+            known = ", ".join(sorted(BENCHMARKS))
+            raise _usage(f"unknown benchmark {benchmark!r}; known: {known}")
+        backend = request.get("backend", "laminar-c")
+        if backend not in BACKENDS:
+            raise _usage(f"unknown backend {backend!r}; expected one of "
+                         f"{', '.join(BACKENDS)}")
+        opt = OptOptions.none() if request.get("no_opt") else OptOptions()
+        pipeline = request.get("pipeline")
+        if pipeline is not None:
+            try:
+                opt.pipeline = pipeline
+            except (TypeError, ValueError) as error:
+                raise _usage(str(error)) from None
+        lowering = LoweringOptions(
+            eliminate_splitjoin=not request.get("no_elim", False))
+        limits = None
+        if request.get("limits"):
+            try:
+                limits = ResourceLimits.parse(request["limits"])
+            except ValueError as error:
+                raise _usage(str(error)) from None
+        return {"source": source, "benchmark": benchmark,
+                "backend": backend, "opt": opt, "lowering": lowering,
+                "limits": limits,
+                "pipeline": ",".join(opt.pipeline) if opt.pipeline
+                else ("none" if request.get("no_opt") else "default")}
+
+    def _admission(self, parsed: dict):
+        """Thread-local per-request resource limits, if any apply."""
+        effective = self.limits or ResourceLimits()
+        if parsed["limits"] is not None:
+            effective = effective.merged(parsed["limits"])
+        return use_limits(effective)
+
+    def _stream(self, parsed: dict) -> tuple[CompiledStream, bool]:
+        """Frontend-compile the request's spec, memoized by source hash."""
+        if parsed["benchmark"] is not None:
+            memo_key = f"benchmark:{parsed['benchmark']}"
+        else:
+            memo_key = hashlib.sha256(
+                parsed["source"].encode("utf-8")).hexdigest()
+        with self._streams_lock:
+            stream = self._streams.get(memo_key)
+            if stream is not None:
+                self._streams.move_to_end(memo_key)
+                return stream, True
+        if parsed["benchmark"] is not None:
+            stream = load_benchmark(parsed["benchmark"])
+        else:
+            stream = compile_source(parsed["source"], "<serve>")
+        with self._streams_lock:
+            self._streams[memo_key] = stream
+            while len(self._streams) > STREAM_MEMO_SIZE:
+                self._streams.popitem(last=False)
+        return stream, False
+
+    def _ensure_entry(self, stream: CompiledStream, parsed: dict):
+        """Cache lookup with single-flight build on miss.
+
+        Exactly one request compiles a given key at a time; the others
+        block on its completion and then read the published entry.
+        """
+        key, components = native_key(stream, backend=parsed["backend"],
+                                     lowering=parsed["lowering"],
+                                     opt=parsed["opt"])
+        entry = self.cache.lookup(key)
+        if entry is not None:
+            return entry, True, key
+        while True:
+            with self._flight_lock:
+                event = self._inflight.get(key)
+                if event is None:
+                    event = threading.Event()
+                    self._inflight[key] = event
+                    break
+            obs_metrics.counter("serve.inflight.coalesced").inc()
+            event.wait()
+            entry = self.cache.lookup(key)
+            if entry is not None:
+                return entry, True, key
+            # The builder failed; loop to elect a new one.
+        try:
+            entry = build_native(stream, key, components,
+                                 backend=parsed["backend"],
+                                 lowering=parsed["lowering"],
+                                 opt=parsed["opt"], cache=self.cache)
+            return entry, False, key
+        finally:
+            with self._flight_lock:
+                self._inflight.pop(key, None)
+            event.set()
+
+    def _ledger_note(self, stream: CompiledStream, parsed: dict,
+                     result: dict) -> None:
+        """Best-effort ledger record for one served run."""
+        if not self.ledger:
+            return
+        body = obs_ledger.make_body(
+            "serve", stream.name, spec_hash=stream.source_hash,
+            backend=parsed["backend"] if result["route"] == "native"
+            else "interp",
+            pipeline=parsed["pipeline"],
+            iterations=result["iterations"],
+            flags={"route": result["route"],
+                   "cache_hit": bool(result.get("cache_hit")),
+                   "degraded": result["degraded"]},
+            checksum=result["checksum"], seconds=result["seconds"],
+            metrics={"outputs": result["outputs"],
+                     "wall_seconds": result["wall_seconds"]})
+        try:
+            envelope = obs_ledger.append(body)
+        except OSError:
+            return
+        obs_bus.emit_event("ledger.append",
+                           record_id=envelope["record_id"],
+                           seq=envelope["seq"], kind="serve",
+                           target=stream.name)
+
+
+def _parse_body(body: bytes) -> dict:
+    try:
+        parsed = json.loads(body.decode("utf-8") or "{}")
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise _usage(f"request body is not valid JSON: {error}") from None
+    if not isinstance(parsed, dict):
+        raise _usage("request body must be a JSON object")
+    return parsed
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    def _dispatch(self, method: str) -> None:
+        length = int(self.headers.get("Content-Length") or 0)
+        body = self.rfile.read(length) if length else b""
+        path = self.path.split("?", 1)[0]
+        status, content_type, payload = self.server.owner.handle(
+            method, path, body)
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def do_GET(self):  # noqa: N802 - http.server API
+        self._dispatch("GET")
+
+    def do_POST(self):  # noqa: N802 - http.server API
+        self._dispatch("POST")
+
+    def log_message(self, format, *args):  # noqa: A002 - http.server API
+        pass  # requests are routine; the bus carries the interesting ones
+
+
+class _TcpServer(ThreadingHTTPServer):
+    daemon_threads = True
+    owner: ServeServer
+
+
+class _UnixServer(socketserver.ThreadingUnixStreamServer):
+    daemon_threads = True
+    owner: ServeServer
+
+    def get_request(self):
+        # AF_UNIX peers have no (host, port); BaseHTTPRequestHandler
+        # indexes client_address, so hand it a synthetic one.
+        request, _address = super().get_request()
+        return request, ("unix-socket", 0)

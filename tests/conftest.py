@@ -27,6 +27,24 @@ def _isolated_ledger(tmp_path_factory):
     else:
         os.environ["REPRO_LEDGER_DIR"] = previous
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_cache(tmp_path_factory):
+    """Point the artifact cache at a per-session temp dir.
+
+    Same rationale as the ledger: serve/cache tests (and any CLI
+    invocation that builds natively) must not populate the repo's
+    ``.repro/cache/``.
+    """
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(
+        tmp_path_factory.mktemp("artifact_cache"))
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
+
+
 # A small but representative program: peeking FIR, duplicate splitjoin,
 # rate conversion, scalar filter state and randomized input.
 DEMO_PROGRAM = """

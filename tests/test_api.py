@@ -67,6 +67,31 @@ class TestCompiledStream:
         lowered_large = demo_stream.lower(None, OptOptions(promote=large))
         assert lowered_small is not lowered_large
 
+    def test_lower_cache_accepts_container_valued_options(
+            self, demo_stream):
+        # Regression: _options_key hashed raw field values, so a
+        # list-valued pipeline raised "unhashable type: 'list'".
+        listed = demo_stream.lower(None, OptOptions(
+            pipeline=["fold", "cse"]))
+        tupled = demo_stream.lower(None, OptOptions(
+            pipeline=("constant_folding", "cse")))
+        assert listed is tupled
+
+    def test_options_key_normalizes_dicts_and_sets(self):
+        from repro.api import _options_key
+
+        assert _options_key({"b": [1, 2], "a": {3}}) == \
+            _options_key({"a": {3}, "b": (1, 2)})
+        assert _options_key({"a": 1}) != _options_key({"a": 2})
+        hash(_options_key({"a": [1, {2}], "b": {"c": [3]}}))
+
+    def test_options_fingerprint_is_stable_and_distinct(self):
+        from repro.api import options_fingerprint
+
+        assert options_fingerprint() == options_fingerprint()
+        assert options_fingerprint(None, OptOptions(pipeline="fold")) \
+            != options_fingerprint()
+
     def test_compile_file(self, tmp_path):
         path = tmp_path / "p.str"
         path.write_text(

@@ -1,6 +1,7 @@
 """Tests for the persistent run ledger (repro.obs.ledger)."""
 
 import json
+import threading
 
 import pytest
 
@@ -49,8 +50,9 @@ class TestAppendLoad:
         envelope = ledger.append(body(), tmp_path)
         files = list(tmp_path.iterdir())
         assert len(files) == 1
-        assert files[0].name == \
-            f"{envelope['seq']:06d}-{envelope['record_id'][:12]}.json"
+        # Claim files are keyed by seq alone (uniqueness under O_EXCL);
+        # the record id lives inside the envelope.
+        assert files[0].name == f"{envelope['seq']:06d}.json"
         assert json.loads(files[0].read_text()) == envelope
 
     def test_load_missing_dir_raises(self, tmp_path):
@@ -206,3 +208,73 @@ class TestFormatting:
         assert "9.00x" in text
         fine = ledger.format_comparison(ledger.compare(a, a))
         assert "regression: no" in fine
+
+
+class TestConcurrentAppend:
+    """Regression: concurrent appends used to share one seq number.
+
+    ``append`` computed ``seq = _next_seq(dir)`` and then wrote
+    ``<seq>-<rid>.json`` — two threads scanning before either wrote
+    both minted the same seq under *different* filenames, so both
+    writes "succeeded" and the ledger held duplicate sequence numbers.
+    The fix claims ``<seq>.json`` with ``O_EXCL``; the loser re-scans.
+    """
+
+    def test_racing_appends_get_unique_seqs(self, tmp_path, monkeypatch):
+        # Force the race deterministically: every thread agrees on the
+        # same starting seq before any of them claims a file.
+        workers = 8
+        barrier = threading.Barrier(workers)
+        original = ledger._next_seq
+
+        def synchronized_next_seq(directory):
+            seq = original(directory)
+            barrier.wait()
+            return seq
+
+        monkeypatch.setattr(ledger, "_next_seq", synchronized_next_seq)
+        envelopes = []
+        lock = threading.Lock()
+
+        def append_one(n):
+            envelope = ledger.append(body(seconds=float(n)), tmp_path)
+            with lock:
+                envelopes.append(envelope)
+
+        threads = [threading.Thread(target=append_one, args=(n,))
+                   for n in range(workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        seqs = sorted(envelope["seq"] for envelope in envelopes)
+        assert seqs == list(range(1, workers + 1))
+        assert len(ledger.load_records(tmp_path)) == workers
+
+    def test_race_skips_seqs_owned_by_legacy_files(self, tmp_path):
+        # A pre-fix ledger dir may hold 000001-<rid>.json; new appends
+        # must not mint seq 1 again even though 000001.json is free.
+        legacy = {"record_id": "a" * 64, "seq": 1, "wall_time": 0.0,
+                  "body": body(seconds=0.5)}
+        (tmp_path / f"000001-{'a' * 12}.json").write_text(
+            json.dumps(legacy))
+        envelope = ledger.append(body(seconds=1.0), tmp_path)
+        assert envelope["seq"] == 2
+        records = ledger.load_records(tmp_path)
+        assert [record["seq"] for record in records] == [1, 2]
+
+    def test_legacy_duplicate_seqs_load_deterministically(self, tmp_path):
+        # Two legacy files sharing seq 1 (the old bug's footprint):
+        # load_records orders them by (seq, record_id), stably.
+        for rid_char in ("b", "a"):
+            envelope = {"record_id": rid_char * 64, "seq": 1,
+                        "wall_time": 0.0, "body": body(seconds=1.0)}
+            (tmp_path / f"000001-{rid_char * 12}.json").write_text(
+                json.dumps(envelope))
+        first = ledger.load_records(tmp_path)
+        second = ledger.load_records(tmp_path)
+        assert first == second
+        assert [record["record_id"][0] for record in first] == ["a", "b"]
+        # TARGET~N references stay stable across loads.
+        assert ledger.resolve("tiny~1", tmp_path)["record_id"][0] == "a"
+        assert ledger.resolve("tiny", tmp_path)["record_id"][0] == "b"

@@ -505,6 +505,25 @@ class TestPassManagerConfig:
         with pytest.raises(ValueError, match="unknown optimizer pass"):
             parse_pipeline("cp,frobnicate")
 
+    def test_pipeline_assignment_coerces_and_validates(self):
+        # Every assignment path normalizes to a canonical tuple[str,...]
+        # via parse_pipeline: strings, lists, tuples, generators.
+        canonical = ("constant_folding",
+                     "common_subexpression_elimination")
+        assert OptOptions(pipeline="fold,cse").pipeline == canonical
+        assert OptOptions(pipeline=["fold", "cse"]).pipeline == canonical
+        options = OptOptions()
+        options.pipeline = (name for name in ("fold", "cse"))
+        assert options.pipeline == canonical
+        options.pipeline = None
+        assert options.pipeline is None
+
+    def test_pipeline_assignment_rejects_bad_values(self):
+        with pytest.raises(ValueError, match="unknown optimizer pass"):
+            OptOptions(pipeline=["fold", "frobnicate"])
+        with pytest.raises(TypeError, match="iterable of pass names"):
+            OptOptions(pipeline=42)
+
     def test_explicit_pipeline_runs_exactly_those_passes(self, demo_stream):
         from repro.lir import lower
         program = lower(demo_stream.schedule, demo_stream.source)

@@ -1,0 +1,264 @@
+"""The serve daemon: round-trips over a Unix socket, errors, dedup."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.cache import ArtifactCache
+from repro.serve import ServeClient, ServeServer
+
+from .conftest import TINY_PROGRAM, requires_cc
+
+COUNTER_PROGRAM_TEMPLATE = """
+void->int filter Count%(tag)s() {
+  int x;
+  init { x = %(start)s; }
+  work push 1 {
+    push(x);
+    x = x + 1;
+  }
+}
+
+int->void filter Drop%(tag)s() {
+  work pop 1 { println(pop()); }
+}
+
+void->void pipeline Counting%(tag)s {
+  add Count%(tag)s();
+  add Drop%(tag)s();
+}
+"""
+
+
+def _program(tag: str, start: int = 0) -> str:
+    return COUNTER_PROGRAM_TEMPLATE % {"tag": tag, "start": start}
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    root = tmp_path_factory.mktemp("serve")
+    instance = ServeServer(socket_path=root / "d.sock",
+                           cache=ArtifactCache(root / "cache"),
+                           max_iterations=4096).start()
+    yield instance
+    instance.stop()
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    handle = ServeClient(socket_path=server.socket_path)
+    assert handle.wait_ready()
+    return handle
+
+
+class TestPlumbing:
+    def test_healthz(self, client):
+        body = client.healthz().json
+        assert body["status"] == "ok"
+        assert body["uptime_seconds"] >= 0
+
+    def test_unknown_endpoint_404(self, client):
+        response = client.request("GET", "/nope")
+        assert response.status == 404
+        assert response.json["exit_code"] == 2
+
+    def test_metrics_exposition(self, client):
+        text = client.metrics()
+        assert text.rstrip().endswith("# EOF")
+        assert "repro_serve_requests_total" in text
+
+    def test_cache_stats_endpoint(self, client, server):
+        stats = client.cache_stats()
+        assert stats["root"] == str(server.cache.root)
+        assert "entries" in stats and "bytes" in stats
+
+    def test_tcp_transport_too(self, tmp_path):
+        instance = ServeServer(port=0,
+                               cache=ArtifactCache(tmp_path)).start()
+        try:
+            tcp = ServeClient(host=instance.host, port=instance.port)
+            assert tcp.wait_ready()
+            assert tcp.healthz().json["status"] == "ok"
+        finally:
+            instance.stop()
+
+
+class TestValidation:
+    def test_body_must_be_json(self, client):
+        response = client.request("POST", "/run", None)
+        assert response.status == 400
+
+    def test_source_xor_benchmark(self, client):
+        response = client.run(source="x", benchmark="filterbank",
+                              iterations=4)
+        assert (response.status, response.json["exit_code"]) == (400, 2)
+        response = client.run(iterations=4)
+        assert response.status == 400
+
+    def test_unknown_benchmark(self, client):
+        response = client.run(benchmark="quicksort", iterations=4)
+        assert response.status == 400
+        assert "quicksort" in response.json["error"]
+
+    def test_unknown_backend_and_route(self, client):
+        assert client.run(benchmark="autocor", backend="jit",
+                          iterations=4).status == 400
+        assert client.run(benchmark="autocor", route="carrier-pigeon",
+                          iterations=4).status == 400
+
+    def test_bad_pipeline_rejected(self, client):
+        response = client.compile(benchmark="autocor",
+                                  pipeline="fold,launder")
+        assert response.status == 400
+        assert "launder" in response.json["error"]
+
+    def test_bad_iterations(self, client):
+        assert client.run(benchmark="autocor",
+                          iterations=-1).status == 400
+        assert client.run(benchmark="autocor",
+                          iterations="many").status == 400
+
+    def test_compile_error_maps_to_422(self, client):
+        response = client.compile(source="void->void pipeline P { }")
+        assert response.status == 422
+        assert response.json["exit_code"] == 1
+        assert response.json["kind"] == "compile-error"
+
+
+class TestAdmission:
+    def test_iterations_cap_rejected_429(self, client):
+        response = client.run(benchmark="autocor", iterations=5000)
+        assert response.status == 429
+        body = response.json
+        assert body["kind"] == "resource-exhausted"
+        assert body["exit_code"] == 3
+
+    def test_request_limits_reject_cold_compile(self, client):
+        response = client.run(source=_program("Admit"), iterations=4,
+                              route="interp", limits="ops=1")
+        assert response.status == 429
+        body = response.json
+        assert body["exit_code"] == 3
+        assert body["resource"] == "max_unrolled_ops"
+
+    def test_bad_limits_spec_is_usage(self, client):
+        response = client.run(benchmark="autocor", iterations=4,
+                              limits="volts=9")
+        assert response.status == 400
+
+
+class TestInterpRoute:
+    def test_run_interp(self, client):
+        response = client.run(source=_program("Interp"), iterations=8,
+                              route="interp")
+        assert response.ok, response.text
+        body = response.json
+        assert body["route"] == "interp"
+        assert body["outputs"] == 8
+        assert len(body["checksum"]) == 16
+
+    def test_stream_memo_hit_on_second_request(self, client):
+        first = client.run(source=_program("Memo"), iterations=4,
+                           route="interp").json
+        second = client.run(source=_program("Memo"), iterations=4,
+                            route="interp").json
+        assert first["stream_cached"] is False
+        assert second["stream_cached"] is True
+        assert first["checksum"] == second["checksum"]
+
+
+@requires_cc
+class TestNativeRoute:
+    def test_cold_then_hot_compile(self, client):
+        source = _program("Native")
+        cold = client.compile(source=source)
+        assert cold.ok, cold.text
+        assert cold.json["cache_hit"] is False
+        hot = client.compile(source=source)
+        assert hot.json["cache_hit"] is True
+        assert hot.json["key"] == cold.json["key"]
+        assert hot.json["components"]["backend"] == "laminar-c"
+
+    def test_run_native_bit_exact_vs_interp(self, client):
+        source = _program("Exact")
+        native = client.run(source=source, iterations=16).json
+        interp = client.run(source=source, iterations=16,
+                            route="interp").json
+        assert native["route"] == "native"
+        assert native["degraded"] is False
+        assert native["checksum"] == interp["checksum"]
+        assert native["outputs"] == interp["outputs"]
+
+    def test_distinct_options_distinct_keys(self, client):
+        source = _program("Opts")
+        default = client.compile(source=source).json
+        unopt = client.compile(source=source, no_opt=True).json
+        assert default["key"] != unopt["key"]
+
+    def test_run_appends_serve_ledger_record(self, client):
+        from repro.obs import ledger as obs_ledger
+
+        response = client.run(source=_program("Ledger"),
+                              iterations=8).json
+        records = [record for record
+                   in obs_ledger.load_records(target="CountingLedger")
+                   if record["body"]["kind"] == "serve"]
+        assert records, "no serve ledger record appended"
+        body = records[-1]["body"]
+        assert body["checksum"] == response["checksum"]
+        assert body["flags"]["route"] == "native"
+
+    def test_concurrent_compiles_build_once(self, client, server):
+        source = _program("Flight")
+        results = []
+        barrier = threading.Barrier(4)
+
+        def spin():
+            # One connection per thread; all fire together at a cold key.
+            mine = ServeClient(socket_path=server.socket_path)
+            barrier.wait()
+            results.append(mine.compile(source=source).json)
+
+        threads = [threading.Thread(target=spin) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(results) == 4
+        assert len({body["key"] for body in results}) == 1
+        misses = [body for body in results if not body["cache_hit"]]
+        assert len(misses) == 1, "single-flight dedup built more than once"
+
+    def test_fifo_backend_round_trip(self, client):
+        response = client.run(source=_program("Fifo"), iterations=8,
+                              backend="fifo-c").json
+        assert response["route"] == "native"
+        assert response["backend"] == "fifo-c"
+
+
+class TestCliSurface:
+    def test_cache_stats_cli(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["cache", "stats", "--dir", str(tmp_path)]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] == 0
+
+    def test_cache_gc_and_clear_cli(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["cache", "gc", "--dir", str(tmp_path),
+                     "--max-bytes", "0"]) == 0
+        assert main(["cache", "clear", "--dir", str(tmp_path)]) == 0
+        assert "cache clear" in capsys.readouterr().err
+
+    @requires_cc
+    def test_serve_self_check_cli(self, tmp_path):
+        from repro.cli import main
+
+        assert main(["serve", "--socket", str(tmp_path / "s.sock"),
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--self-check"]) == 0
