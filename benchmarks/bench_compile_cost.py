@@ -42,6 +42,12 @@ SCALES = (1, 2, 4)
 # a real regression from losing the sparse worklists is 5-10x).
 CHECK_TOLERANCE = 2.0
 
+# Codegen-size gate: re-rolling must shrink the emitted laminar C for
+# filterbank x4 (the largest unrolled steady state in the sweep) by at
+# least this factor versus the fully-unrolled build.
+CODEGEN_SIZE_RATIO = 3.0
+_CODEGEN_SIZE_BENCH = ("filterbank", 4)
+
 _SEED_BASELINE = RESULTS_DIR / "compile_cost_seed.json"
 _CURRENT_BASELINE = RESULTS_DIR / "compile_cost_baseline.json"
 
@@ -50,6 +56,13 @@ def _load_baseline(path) -> dict[str, float]:
     data = json.loads(path.read_text())
     return {key: value for key, value in data.items()
             if not key.startswith("_")}
+
+
+def _static_len(ops) -> int:
+    """Structural op count: a loop region is 1 + its body, once."""
+    from repro.lir.ops import LoopRegion
+    return sum(1 + len(op.body) if isinstance(op, LoopRegion) else 1
+               for op in ops)
 
 
 def measure(name: str, scale: int, full: bool = True) -> dict:
@@ -67,13 +80,20 @@ def measure(name: str, scale: int, full: bool = True) -> dict:
     lowering_seconds = time.perf_counter() - start
     opt_stats = lowered.opt_stats
 
+    program = lowered.program
     result = {
         "frontend_s": frontend_seconds,
         "lowering_s": lowering_seconds,
         "optimize_s": opt_stats.optimize_seconds,
         "fixpoint_rounds": opt_stats.fixpoint_rounds,
         "converged": opt_stats.converged,
-        "steady_ops": len(lowered.program.steady),
+        # Executed steady ops per iteration (loop regions expanded):
+        # comparable across re-rolled and unrolled builds.
+        "steady_ops": program.steady_op_count_expanded,
+        # Structural size — what the backends actually emit code for
+        # (a region's body counts once, not per trip).
+        "steady_ops_static": _static_len(program.steady),
+        "regions": opt_stats.regions_rerolled,
     }
     if not full:
         return result
@@ -87,6 +107,15 @@ def measure(name: str, scale: int, full: bool = True) -> dict:
         "speedup": record.speedup(I7_2600K),
     })
     return result
+
+
+def codegen_size_ratio(name: str, scale: int) -> float:
+    """Emitted laminar C bytes, fully unrolled over re-rolled."""
+    from repro.opt import OptOptions
+    stream = load_benchmark(name, scale=scale)
+    rerolled = len(stream.laminar_c())
+    unrolled = len(stream.laminar_c(opt=OptOptions(reroll=False)))
+    return unrolled / rerolled
 
 
 def build_report() -> tuple[str, dict]:
@@ -103,6 +132,7 @@ def build_report() -> tuple[str, dict]:
             rows.append([
                 f"{name} x{scale}",
                 str(result["steady_ops"]),
+                str(result["steady_ops_static"]),
                 f"{result['optimize_s'] * 1000:.0f} ms",
                 vs_seed,
                 f"{result['fifo_c_kb']:.1f} KB",
@@ -110,12 +140,12 @@ def build_report() -> tuple[str, dict]:
                 f"{result['speedup']:.2f}x",
             ])
     table = format_table(
-        ["benchmark/scale", "LaminarIR steady ops", "optimize time",
-         "vs seed", "FIFO C size", "LaminarIR C size",
+        ["benchmark/scale", "steady ops (exec)", "steady ops (emitted)",
+         "optimize time", "vs seed", "FIFO C size", "LaminarIR C size",
          "modeled speedup (i7)"],
         rows,
         title="Extension: compile-time and code-size cost of the "
-              "unrolled steady state")
+              "steady state (re-rolled loop regions)")
     return table, data
 
 
@@ -156,6 +186,14 @@ def check(names: list[str]) -> int:
                   f"(baseline {expected * 1000:.0f} ms, "
                   f"tolerance {CHECK_TOLERANCE:.0f}x) {status}")
             assert result["converged"], key
+    bench, scale = _CODEGEN_SIZE_BENCH
+    if bench in names:
+        ratio = codegen_size_ratio(bench, scale)
+        status = "ok" if ratio >= CODEGEN_SIZE_RATIO else "FAIL"
+        print(f"{bench}@{scale}: laminar C unrolled/re-rolled "
+              f"{ratio:.2f}x (gate {CODEGEN_SIZE_RATIO:.0f}x) {status}")
+        if status == "FAIL":
+            failures.append(f"{bench}@{scale} codegen size")
     if failures:
         print(f"compile-cost check failed for: {', '.join(failures)}",
               file=sys.stderr)
@@ -181,11 +219,21 @@ def update_baseline() -> int:
 def test_compile_cost(benchmark):
     benchmark(lambda: load_benchmark("fft", scale=2).lower())
     table, data = build_report()
-    emit("compile_cost", table)
+    bench, size_scale = _CODEGEN_SIZE_BENCH
+    size_ratio = codegen_size_ratio(bench, size_scale)
+    headline = data[(bench, size_scale)]
+    emit("compile_cost", table, data={
+        "filterbank4_optimize_s": headline["optimize_s"],
+        "filterbank4_steady_ops": headline["steady_ops"],
+        "filterbank4_steady_ops_static": headline["steady_ops_static"],
+        "filterbank4_laminar_c_kb": headline["laminar_c_kb"],
+        "filterbank4_regions": headline["regions"],
+        "filterbank4_codegen_size_ratio": round(size_ratio, 2),
+    })
     _write_json(data)
     seed = _load_baseline(_SEED_BASELINE)
     for name in SWEEP_NAMES:
-        # code size grows with the problem...
+        # executed work grows with the problem...
         assert data[(name, 4)]["steady_ops"] >= \
             data[(name, 1)]["steady_ops"]
         # ...but the speedup does not collapse
@@ -194,6 +242,8 @@ def test_compile_cost(benchmark):
     # steady state (filterbank) at least 2x faster than the seed.
     assert data[("filterbank", 4)]["optimize_s"] * 2.0 <= \
         seed["filterbank@4"]
+    # Re-rolling shrinks what the C backend emits for that same state.
+    assert size_ratio >= CODEGEN_SIZE_RATIO, size_ratio
 
 
 def main(argv=None) -> int:

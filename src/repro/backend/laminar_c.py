@@ -17,11 +17,18 @@ from repro.backend.common import (C_PRELUDE, INTRINSIC_C_NAMES, c_float_literal,
                                   c_int_literal, c_main, c_profile_runtime,
                                   c_type)
 from repro.frontend.types import FLOAT, INT
-from repro.lir.ops import (BinOp, CallOp, CastOp, Const, LoadOp, MoveOp, Op,
-                           PrintOp, SelectOp, StoreOp, Temp, UnOp, Value)
+from repro.lir.ops import (BinOp, CallOp, CastOp, Const, LoadOp, LoopRegion,
+                           MoveOp, Op, PrintOp, SelectOp, StoreOp, Temp,
+                           UnOp, Value)
 from repro.lir.program import Program
 
 _SECTION_NAMES = ("repro_setup", "repro_init_schedule", "repro_steady")
+
+
+def _expanded_count(ops: list[Op]) -> int:
+    """Ops as executed: a loop region counts trips × body ops."""
+    return sum(op.trips * len(op.body) if isinstance(op, LoopRegion) else 1
+               for op in ops)
 
 
 class LaminarCBackend:
@@ -33,6 +40,12 @@ class LaminarCBackend:
         # Filter name -> row index in the profiling accumulator tables,
         # in first-seen steady order (profile mode only).
         self.prof_index: dict[str, int] = {}
+        # slot name -> restrict-qualified local alias, active while a
+        # loop-region body is being emitted.
+        self._slot_alias: dict[str, str] = {}
+        # temp id -> inlined C expression for single-use pure body ops
+        # (region emission folds them into their one use site).
+        self._inline: dict[int, str] = {}
 
     # -- value naming ---------------------------------------------------------
 
@@ -47,6 +60,9 @@ class LaminarCBackend:
                 return c_float_literal(value.value)  # type: ignore
             return "1" if value.value else "0"
         assert isinstance(value, Temp)
+        inlined = self._inline.get(value.id)
+        if inlined is not None:
+            return inlined
         return self._name(value)
 
     # -- cross-section analysis --------------------------------------------------
@@ -128,22 +144,23 @@ class LaminarCBackend:
                 lines.append("    repro_prof_t_iter = repro_now();")
                 for key, run_ops in steady_runs:
                     if key is None:
-                        lines.extend("    " + self._op(op)
-                                     for op in run_ops)
+                        lines.extend(self._emit_ops(run_ops))
                         continue
                     # No braces around the run: its temps stay visible
                     # to later runs (cross-run uses are the norm).
                     row = self.prof_index[key]
                     lines.append("    repro_prof_t0 = repro_now();")
-                    lines.extend("    " + self._op(op) for op in run_ops)
+                    lines.extend(self._emit_ops(run_ops))
                     lines.append(f"    repro_prof_ns[{row}] += "
                                  f"(repro_now() - repro_prof_t0) * 1e9;")
-                    lines.append(
-                        f"    repro_prof_ops[{row}] += {len(run_ops)};")
+                    # Attribute re-rolled runs by *executed* ops (trips ×
+                    # body), so per-filter shares stay comparable with
+                    # the fully-unrolled build.
+                    lines.append(f"    repro_prof_ops[{row}] += "
+                                 f"{_expanded_count(run_ops)};")
                     lines.append(f"    repro_prof_calls[{row}]++;")
             else:
-                for op in ops:
-                    lines.append("    " + self._op(op))
+                lines.extend(self._emit_ops(ops))
             if section == 1:
                 for param, value in zip(self.program.carry_params,
                                         self.program.carry_inits):
@@ -168,55 +185,140 @@ class LaminarCBackend:
 
     # -- op translation ----------------------------------------------------------------
 
+    def _emit_ops(self, ops: list[Op], indent: str = "    ") -> list[str]:
+        lines: list[str] = []
+        for op in ops:
+            if isinstance(op, LoopRegion):
+                lines.extend(self._region(op, indent))
+            else:
+                lines.append(indent + self._op(op))
+        return lines
+
+    def _region(self, region: LoopRegion, indent: str) -> list[str]:
+        """Emit a re-rolled run as a counted ``for`` loop.
+
+        The body's gather/scatter arrays get ``restrict``-qualified local
+        aliases (read-only ones also ``const``) so the C compiler can
+        prove the per-trip accesses independent; data-parallel bodies get
+        ``#pragma omp simd`` (activated by ``-fopenmp-simd``).
+        """
+        inner = indent + "    "
+        lines = [indent + "{"]
+        stored = {slot.name for slot in region.body_slot_stores()}
+        aliased: list[str] = []
+        for slot in list(region.body_slot_loads()) \
+                + list(region.body_slot_stores()):
+            if slot.name in self._slot_alias or not slot.is_array:
+                continue
+            alias = f"rr_{slot.name}"
+            qual = "" if slot.name in stored else "const "
+            lines.append(f"{inner}{qual}{c_type(slot.ty)} *restrict "
+                         f"{alias} = {slot.name};")
+            self._slot_alias[slot.name] = alias
+            aliased.append(slot.name)
+        for param, init in zip(region.carry_params, region.carry_inits):
+            lines.append(f"{inner}{c_type(param.ty)} {self._name(param)} "
+                         f"= {self._value(init)};")
+        if region.parallel:
+            lines.append(f"{inner}#pragma omp simd")
+        counter = self._name(region.index)
+        lines.append(f"{inner}for (i32 {counter} = 0; "
+                     f"{counter} < {region.trips}; {counter}++) {{")
+        body_indent = inner + "    "
+        # Tree-style emission: a pure body op whose result has exactly
+        # one body use folds into that use site as a parenthesized
+        # expression.  The expression tree (and so FP evaluation order)
+        # is unchanged — this only removes single-use temp declarations,
+        # which dominate emitted bytes for wide peek-window bodies.
+        use_counts: dict[int, int] = {}
+        for op in region.body:
+            for value in op.operands():
+                if isinstance(value, Temp):
+                    use_counts[value.id] = use_counts.get(value.id, 0) + 1
+        pinned = {value.id for value in region.carry_nexts
+                  if isinstance(value, Temp)}
+        for op in region.body:
+            if op.result is not None \
+                    and op.result.id not in pinned \
+                    and use_counts.get(op.result.id) == 1 \
+                    and self._inlinable(op, stored):
+                self._inline[op.result.id] = f"({self._rhs(op)})"
+                continue
+            lines.append(body_indent + self._op(op))
+        if region.carry_params:
+            lines.append(body_indent + "/* rotate region carries */")
+            for position, value in enumerate(region.carry_nexts):
+                ty = c_type(region.carry_params[position].ty)
+                lines.append(f"{body_indent}{ty} rn{position} = "
+                             f"{self._value(value)};")
+            for position, param in enumerate(region.carry_params):
+                lines.append(
+                    f"{body_indent}{self._name(param)} = rn{position};")
+        lines.append(inner + "}")
+        for name in aliased:
+            del self._slot_alias[name]
+        self._inline.clear()
+        lines.append(indent + "}")
+        return lines
+
+    def _inlinable(self, op: Op, stored_slots: set[str]) -> bool:
+        """Safe to fold into the use site: pure, and (for loads) reading
+        a slot the body never stores — folding moves evaluation later,
+        which must not cross a write to the same memory."""
+        if isinstance(op, LoadOp):
+            return op.slot.name not in stored_slots
+        if isinstance(op, (BinOp, UnOp, CastOp, SelectOp, MoveOp)):
+            return True
+        if isinstance(op, CallOp):
+            return not op.has_side_effect
+        return False
+
+    def _slot_ref(self, slot) -> str:
+        return self._slot_alias.get(slot.name, slot.name)
+
     def _define(self, temp: Temp, rhs: str) -> str:
         if temp.id in self.cross_section:
             return f"{self._name(temp)} = {rhs};"
         return f"{c_type(temp.ty)} {self._name(temp)} = {rhs};"
 
-    def _op(self, op: Op) -> str:
+    def _rhs(self, op: Op) -> str:
+        """The C expression computing ``op``'s result (ops with results)."""
         if isinstance(op, BinOp):
             assert op.result is not None
             if op.op in ("/", "%") and op.result.ty == INT:
                 fn = "repro_div_i32" if op.op == "/" else "repro_mod_i32"
-                rhs = f"{fn}({self._value(op.lhs)}, {self._value(op.rhs)})"
-            else:
-                rhs = f"{self._value(op.lhs)} {op.op} {self._value(op.rhs)}"
-            return self._define(op.result, rhs)
+                return f"{fn}({self._value(op.lhs)}, {self._value(op.rhs)})"
+            return f"{self._value(op.lhs)} {op.op} {self._value(op.rhs)}"
         if isinstance(op, UnOp):
-            assert op.result is not None
-            return self._define(op.result,
-                                f"{op.op}{self._value(op.operand)}")
+            return f"{op.op}{self._value(op.operand)}"
         if isinstance(op, CastOp):
             assert op.result is not None
-            rhs = f"({c_type(op.result.ty)}){self._value(op.operand)}"
-            return self._define(op.result, rhs)
+            return f"({c_type(op.result.ty)}){self._value(op.operand)}"
         if isinstance(op, SelectOp):
-            assert op.result is not None
-            rhs = (f"{self._value(op.cond)} ? {self._value(op.then)} : "
-                   f"{self._value(op.otherwise)}")
-            return self._define(op.result, rhs)
+            return (f"{self._value(op.cond)} ? {self._value(op.then)} : "
+                    f"{self._value(op.otherwise)}")
         if isinstance(op, CallOp):
-            assert op.result is not None
-            return self._define(op.result, self._call(op))
+            return self._call(op)
         if isinstance(op, LoadOp):
-            assert op.result is not None
             if op.index is None:
-                return self._define(op.result, op.slot.name)
-            return self._define(
-                op.result, f"{op.slot.name}[{self._value(op.index)}]")
+                return self._slot_ref(op.slot)
+            return f"{self._slot_ref(op.slot)}[{self._value(op.index)}]"
+        if isinstance(op, MoveOp):
+            return self._value(op.src)
+        raise AssertionError(type(op).__name__)
+
+    def _op(self, op: Op) -> str:
         if isinstance(op, StoreOp):
-            target = op.slot.name
+            target = self._slot_ref(op.slot)
             if op.index is not None:
                 target = f"{target}[{self._value(op.index)}]"
             return f"{target} = {self._value(op.value)};"
-        if isinstance(op, MoveOp):
-            assert op.result is not None
-            return self._define(op.result, self._value(op.src))
         if isinstance(op, PrintOp):
             ty = op.value.ty
             fn = "repro_print_f64" if ty == FLOAT else "repro_print_i32"
             return f"{fn}({self._value(op.value)});"
-        raise AssertionError(type(op).__name__)
+        assert op.result is not None
+        return self._define(op.result, self._rhs(op))
 
     def _call(self, op: CallOp) -> str:
         if op.name in ("abs", "min", "max"):
@@ -238,7 +340,9 @@ class LaminarCBackend:
 
 # Bump whenever this module changes the C it emits for the *same*
 # program: the persistent artifact cache keys on codegen_fingerprint().
-CODEGEN_VERSION = 1
+# 2: loop regions emitted as counted for-loops (restrict aliases,
+#    optional ``#pragma omp simd``) instead of fully-unrolled bodies.
+CODEGEN_VERSION = 2
 
 
 def codegen_fingerprint() -> str:

@@ -121,6 +121,12 @@ def _options(args: argparse.Namespace) -> tuple[LoweringOptions,
     max_rounds = getattr(args, "opt_max_rounds", None)
     if max_rounds is not None:
         opt.max_rounds = max_rounds
+    reroll = getattr(args, "reroll", None)
+    if reroll is not None:
+        opt.reroll = reroll
+    min_repeat = getattr(args, "reroll_min_repeat", None)
+    if min_repeat is not None:
+        opt.reroll_min_repeat = min_repeat
     return lowering, opt
 
 
@@ -140,6 +146,17 @@ def _add_opt_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--opt-max-rounds", type=int, metavar="N",
         help="cap the optimizer's fixpoint rounds (default 64)")
+    parser.add_argument(
+        "--reroll", dest="reroll", action="store_true", default=None,
+        help="re-roll repeated firing runs into counted loop regions "
+             "(the default; see docs/OPTIMIZER.md)")
+    parser.add_argument(
+        "--no-reroll", dest="reroll", action="store_false",
+        help="keep the steady state fully unrolled")
+    parser.add_argument(
+        "--reroll-min-repeat", type=int, metavar="N",
+        help="minimum consecutive firings of one filter before a run "
+             "is re-rolled (default 4, floor 2)")
 
 
 def _limits_spec(spec: str) -> ResourceLimits:
@@ -717,7 +734,20 @@ def cmd_cache(args: argparse.Namespace) -> int:
 
     cache = ArtifactCache(Path(args.dir) if args.dir else None)
     if args.action == "stats":
-        print(json.dumps(cache.stats(), indent=2, sort_keys=True))
+        stats = cache.stats()
+        if args.json:
+            print(json.dumps(stats, indent=2, sort_keys=True))
+            return 0
+        cap = stats["max_bytes"]
+        print(f"root:        {stats['root']}")
+        print(f"entries:     {stats['entries']}")
+        print(f"bytes:       {stats['bytes']}"
+              + (f" / {cap}" if cap else ""))
+        print(f"quarantined: {stats['quarantined']}")
+        for backend in sorted(stats["backends"]):
+            print(f"backend {backend}: {stats['backends'][backend]}")
+        for name in sorted(stats["counters"]):
+            print(f"{name}: {stats['counters'][name]}")
         return 0
     if args.action == "gc":
         result = cache.gc(args.max_bytes)
@@ -961,9 +991,12 @@ def build_parser() -> argparse.ArgumentParser:
         "cache",
         help="manage the persistent native-artifact cache")
     cache.add_argument("action", choices=("stats", "gc", "clear"),
-                       help="stats: JSON store statistics; gc: evict "
+                       help="stats: store statistics; gc: evict "
                             "LRU entries past the size cap; clear: "
                             "remove everything")
+    cache.add_argument("--json", action="store_true",
+                       help="with stats: machine-readable JSON instead "
+                            "of the human-readable summary")
     cache.add_argument("--dir", metavar="PATH",
                        help="cache root (default .repro/cache, or "
                             "REPRO_CACHE_DIR)")

@@ -93,6 +93,14 @@ class GeneratorOptions:
     max_rate: int = 3
     allow_feedback: bool = True
     allow_splitjoin: bool = True
+    # Fraction of specs drawn in "large-repeat" mode: rate declarations
+    # are boosted past ``max_rate`` and splitjoins widen, so the steady
+    # schedule repeats filters many times in a row — the shape the
+    # re-roll pass collapses into loop regions (and the shape most
+    # likely to expose its bugs).
+    large_repeat_bias: float = 0.25
+    large_rate_factor: int = 3     # boosted rate cap = max_rate * this
+    wide_splitjoin_max: int = 5    # branch cap in large-repeat mode
 
 
 # ---------------------------------------------------------------------------
@@ -221,10 +229,21 @@ class _Gen:
         self.options = options
         self.counter = 0
         self.features: set[str] = set()
+        # Set per spec by random_spec: bias rates/widths upward so the
+        # steady schedule contains long same-filter firing runs.
+        self.large_repeat = False
 
     def name(self, prefix: str = "F") -> str:
         self.counter += 1
         return f"{prefix}{self.counter}"
+
+    def _rate(self) -> int:
+        """One rate declaration draw, honoring large-repeat mode."""
+        rng = self.rng
+        if self.large_repeat and rng.random() < 0.8:
+            cap = self.options.max_rate * self.options.large_rate_factor
+            return rng.randint(2, max(2, cap))
+        return rng.randint(1, self.options.max_rate)
 
     def _body(self, in_ty: str | None, out_ty: str | None, push: int,
               pop: int, peek: int, atoms_seed: list[tuple[str, str]],
@@ -302,9 +321,8 @@ class _Gen:
                    push: int | None = None, allow_prework: bool = True,
                    allow_peek: bool = True) -> FilterSpec:
         rng = self.rng
-        pop = rng.randint(1, self.options.max_rate) if pop is None else pop
-        push = rng.randint(1, self.options.max_rate) if push is None \
-            else push
+        pop = self._rate() if pop is None else pop
+        push = self._rate() if push is None else push
         peek = pop
         if allow_peek and pop > 0 and rng.random() < 0.35:
             peek = pop + rng.randint(1, 2)
@@ -369,7 +387,10 @@ class _Gen:
 
     def splitjoin(self, in_ty: str, out_ty: str) -> SplitJoinSpec:
         rng = self.rng
-        n = rng.randint(2, 3)
+        wide = self.large_repeat and self.options.wide_splitjoin_max > 3
+        n = rng.randint(2, self.options.wide_splitjoin_max if wide else 3)
+        if n > 3:
+            self.features.add("wide-splitjoin")
         duplicate = rng.random() < 0.4
         if duplicate:
             split_weights: list[int] = []
@@ -453,6 +474,9 @@ def random_spec(seed: int | str,
     options = options or GeneratorOptions()
     rng = random.Random(str(seed))
     gen = _Gen(rng, options)
+    gen.large_repeat = rng.random() < options.large_repeat_bias
+    if gen.large_repeat:
+        gen.features.add("large-repeat")
 
     ty = rng.choice([INT, FLOAT])
     stages: list[object] = [gen.source(ty)]

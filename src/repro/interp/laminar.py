@@ -21,8 +21,9 @@ from repro.interp.counters import Counters, RunResult
 from repro.interp.values import coerce_runtime, default_value, \
     runtime_binary, runtime_unary
 from repro.lir.attribution import attribute_program
-from repro.lir.ops import (BinOp, CallOp, CastOp, Const, LoadOp, MoveOp, Op,
-                           PrintOp, SelectOp, StoreOp, Temp, UnOp, Value)
+from repro.lir.ops import (BinOp, CallOp, CastOp, Const, LoadOp, LoopRegion,
+                           MoveOp, Op, PrintOp, SelectOp, StoreOp, Temp,
+                           UnOp, Value)
 from repro.lir.program import Program
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace
@@ -142,8 +143,25 @@ class LaminarInterpreter:
         elif isinstance(op, PrintOp):
             self.counters.prints += 1
             self.outputs.append(self._value(op.value))
+        elif isinstance(op, LoopRegion):
+            self._run_region(op)
         else:  # pragma: no cover
             raise AssertionError(type(op).__name__)
+
+    def _run_region(self, region: LoopRegion) -> None:
+        """Execute a re-rolled loop directly: counters accumulate per
+        trip, exactly as the unrolled form would have counted."""
+        carries = [self._value(v) for v in region.carry_inits]
+        params = region.carry_params
+        for trip in range(region.trips):
+            self.registers[region.index.id] = trip
+            for param, value in zip(params, carries):
+                self.registers[param.id] = value
+                self.counters.alu += 1  # loop-carried register move
+            for op in region.body:
+                self._run_op(op)
+            if params:
+                carries = [self._value(v) for v in region.carry_nexts]
 
     def _run_call(self, op: CallOp) -> None:
         self.counters.intrinsic += 1

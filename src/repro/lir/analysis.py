@@ -28,8 +28,9 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
-from repro.lir.ops import (LoadOp, Op, PROVENANCE_KINDS, PROVENANCE_PHASES,
-                           Provenance, StoreOp, Temp, Value)
+from repro.lir.ops import (LoadOp, LoopRegion, Op, PROVENANCE_KINDS,
+                           PROVENANCE_PHASES, Provenance, StoreOp, Temp,
+                           Value)
 from repro.lir.program import Program
 
 
@@ -112,22 +113,44 @@ class ProgramIndex:
         # must stay observably erased: pass state (CSE tables, worklists)
         # may still hold references across a mid-run compact.
         self._tombstones: set[Op] = set()
-        next_id = 0
+        # Enclosing LoopRegion for ops living inside a region body.
+        self._region_of: dict[Op, LoopRegion] = {}
+        self._next_id = 0
         for title, ops in self.program.sections():
             for op in ops:
-                self._op_ids[op] = next_id
-                next_id += 1
-                self._section_of[op] = title
-                if op.result is not None:
-                    self._defs[op.result.id] = op
-                for operand in op.operands():
-                    if isinstance(operand, Temp):
-                        self._uses.setdefault(operand.id, {})[op] = None
-                if isinstance(op, LoadOp):
-                    self._slot_loads.setdefault(op.slot.name, {})[op] = None
-                elif isinstance(op, StoreOp):
-                    self._slot_stores.setdefault(op.slot.name, {})[op] = None
+                self._index_op(op, title)
         self.rebuild_carries()
+
+    def _index_op(self, op: Op, title: str,
+                  region: LoopRegion | None = None) -> None:
+        self._op_ids[op] = self._next_id
+        self._next_id += 1
+        self._section_of[op] = title
+        if region is not None:
+            self._region_of[op] = region
+        if isinstance(op, LoopRegion):
+            # The region op *defines* its trip counter and carry params
+            # (fresh each trip) and *uses* the temps its carry lists
+            # reference; body ops are indexed individually so the
+            # worklist passes can fold/CSE/DCE inside the body.
+            self._defs[op.index.id] = op
+            for param in op.carry_params:
+                self._defs[param.id] = op
+            for value in list(op.carry_inits) + list(op.carry_nexts):
+                if isinstance(value, Temp):
+                    self._uses.setdefault(value.id, {})[op] = None
+            for inner in op.body:
+                self._index_op(inner, title, op)
+            return
+        if op.result is not None:
+            self._defs[op.result.id] = op
+        for operand in op.operands():
+            if isinstance(operand, Temp):
+                self._uses.setdefault(operand.id, {})[op] = None
+        if isinstance(op, LoadOp):
+            self._slot_loads.setdefault(op.slot.name, {})[op] = None
+        elif isinstance(op, StoreOp):
+            self._slot_stores.setdefault(op.slot.name, {})[op] = None
 
     def rebuild_carries(self) -> None:
         """Recompute the carry-list use map (after carry lists changed)."""
@@ -145,6 +168,10 @@ class ProgramIndex:
         self.compact()
         self._build()
 
+    def region_of(self, op: Op) -> LoopRegion | None:
+        """The enclosing :class:`LoopRegion`, or None for top-level ops."""
+        return self._region_of.get(op)
+
     # -- queries ------------------------------------------------------------
 
     def op_id(self, op: Op) -> int:
@@ -157,11 +184,17 @@ class ProgramIndex:
         return op in self._erased or op in self._tombstones
 
     def live_ops(self):
-        """Yield every non-erased op in program order."""
+        """Yield every non-erased op in program order (region bodies
+        nested right after their region op)."""
         for _title, ops in self.program.sections():
             for op in ops:
-                if op not in self._erased:
-                    yield op
+                if op in self._erased:
+                    continue
+                yield op
+                if isinstance(op, LoopRegion):
+                    for inner in op.body:
+                        if inner not in self._erased:
+                            yield inner
 
     def def_of(self, temp_id: int) -> Op | None:
         return self._defs.get(temp_id)
@@ -233,6 +266,8 @@ class ProgramIndex:
         the op until :meth:`compact`.
         """
         assert not self.is_erased(op), "op erased twice"
+        assert not isinstance(op, LoopRegion), \
+            "regions are effects; passes never erase them"
         if op.result is not None:
             assert self.use_count(op.result.id) == 0, \
                 f"erasing {op} whose result is still used"
@@ -273,10 +308,15 @@ class ProgramIndex:
         if not self._erased:
             return
         for _title, ops in self.program.sections():
+            for op in ops:
+                if isinstance(op, LoopRegion) and op not in self._erased:
+                    op.body[:] = [inner for inner in op.body
+                                  if inner not in self._erased]
             ops[:] = [op for op in ops if op not in self._erased]
         for op in self._erased:
             self._op_ids.pop(op, None)
             self._section_of.pop(op, None)
+            self._region_of.pop(op, None)
         self._tombstones |= self._erased
         self._erased.clear()
 
@@ -327,4 +367,5 @@ class ProgramIndex:
             "stores": {name: frozenset(ops)
                        for name, ops in self._slot_stores.items() if ops},
             "carry_params": frozenset(self.carry_param_ids),
+            "region_of": dict(self._region_of),
         }

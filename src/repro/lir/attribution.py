@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.lir.ops import Op
+from repro.lir.ops import LoopRegion, Op
 from repro.lir.program import Program
 
 UNATTRIBUTED = "<unattributed>"
@@ -65,19 +65,29 @@ def attribute_program(program: Program) -> list[FilterAttribution]:
             entry = rows[name] = FilterAttribution(name=name, kind=kind)
         return entry
 
+    def count(op: Op, title: str, weight: int) -> None:
+        name, kind = _primary_name(op)
+        entry = row(name, kind)
+        if title == "setup":
+            entry.setup_ops += weight
+        elif title == "init":
+            entry.init_ops += weight
+        else:
+            entry.steady_ops += weight
+        for extra in op.prov[1:]:
+            if extra.filter != name:
+                entry.merged_from.add(extra.filter)
+
     for title, ops in program.sections():
         for op in ops:
-            name, kind = _primary_name(op)
-            entry = row(name, kind)
-            if title == "setup":
-                entry.setup_ops += 1
-            elif title == "init":
-                entry.init_ops += 1
-            else:
-                entry.steady_ops += 1
-            for extra in op.prov[1:]:
-                if extra.filter != name:
-                    entry.merged_from.add(extra.filter)
+            if isinstance(op, LoopRegion):
+                # A re-rolled run still *executes* trips × body ops per
+                # iteration; attribute each body op per trip so the
+                # rows keep summing to the expanded section totals.
+                for inner in op.body:
+                    count(inner, title, op.trips)
+                continue
+            count(op, title, 1)
 
     def kind_of(name: str) -> str:
         return program.filter_kinds.get(name, "filter")

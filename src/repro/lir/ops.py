@@ -327,6 +327,103 @@ class MoveOp(Op):
 
 
 @dataclass(eq=False)
+class LoopRegion(Op):
+    """A counted loop over a re-rolled run of identical firings.
+
+    The re-roll pass (:mod:`repro.opt.reroll`) collapses ``trips``
+    structurally identical firing instances into one ``body`` executed
+    ``trips`` times.  ``index`` is the trip counter (INT, 0-based) defined
+    afresh each trip; token accesses inside the body are plain
+    base+stride expressions of ``index`` — never modulo — so arrays stay
+    scalar-replaceable and autovectorizable.
+
+    Values crossing the region boundary travel one of three ways:
+
+    * *invariant* operands reference outer temps/consts directly;
+    * *loop-carried* values rotate through the region-level
+      ``carry_params``/``carry_inits``/``carry_nexts`` lists (evaluated
+      exactly like the program-level steady carries, once per trip);
+    * everything else goes through gather/scatter :class:`StateSlot`
+      arrays indexed by ``index`` — the region has no result.
+
+    ``parallel`` marks bodies with no loop-carried values and no ordered
+    effects other than disjoint per-trip scatter stores; backends may
+    vectorize those (``#pragma omp simd``).
+    """
+
+    trips: int = 0
+    index: Temp = None  # type: ignore[assignment]
+    body: list[Op] = field(default_factory=list)
+    carry_params: list[Temp] = field(default_factory=list)
+    carry_inits: list[Value] = field(default_factory=list)
+    carry_nexts: list[Value] = field(default_factory=list)
+    parallel: bool = False
+
+    def inner_temp_ids(self) -> set[int]:
+        """Ids defined per-trip: index, carry params, body results."""
+        inner = {self.index.id}
+        inner.update(p.id for p in self.carry_params)
+        for op in self.body:
+            if op.result is not None:
+                inner.add(op.result.id)
+        return inner
+
+    def operands(self) -> Iterator[Value]:
+        """All *external* uses: carries plus body references to outer
+        values.  Per-trip temps (index, carry params, body results) are
+        internal and never yielded."""
+        inner = self.inner_temp_ids()
+        yield from self.carry_inits
+        for op in self.body:
+            for value in op.operands():
+                if isinstance(value, Temp) and value.id in inner:
+                    continue
+                yield value
+        for value in self.carry_nexts:
+            if isinstance(value, Temp) and value.id in inner:
+                continue
+            yield value
+
+    def map_operands(self, fn: Callable[[Value], Value]) -> None:
+        inner = self.inner_temp_ids()
+
+        def outer(value: Value) -> Value:
+            if isinstance(value, Temp) and value.id in inner:
+                return value
+            return fn(value)
+
+        self.carry_inits = [outer(v) for v in self.carry_inits]
+        for op in self.body:
+            op.map_operands(outer)
+        self.carry_nexts = [outer(v) for v in self.carry_nexts]
+
+    @property
+    def has_side_effect(self) -> bool:
+        return True
+
+    def body_slot_stores(self) -> Iterator[StateSlot]:
+        for op in self.body:
+            if isinstance(op, StoreOp):
+                yield op.slot
+
+    def body_slot_loads(self) -> Iterator[StateSlot]:
+        for op in self.body:
+            if isinstance(op, LoadOp):
+                yield op.slot
+
+    def __str__(self) -> str:
+        carries = ""
+        if self.carry_params:
+            pairs = ", ".join(
+                f"{p}={i}->{n}" for p, i, n in
+                zip(self.carry_params, self.carry_inits, self.carry_nexts))
+            carries = f" carries [{pairs}]"
+        simd = " simd" if self.parallel else ""
+        return (f"loop {self.index} in 0..{self.trips}{simd}{carries} "
+                f"{{ {len(self.body)} ops }}")
+
+
+@dataclass(eq=False)
 class PrintOp(Op):
     value: Value = None  # type: ignore[assignment]
     newline: bool = True

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.lir.ops import Op, StateSlot, Temp, Value
+from repro.lir.ops import LoopRegion, Op, StateSlot, Temp, Value
 
 
 @dataclass
@@ -52,6 +52,19 @@ class Program:
     def steady_op_count(self) -> int:
         return len(self.steady)
 
+    @property
+    def steady_op_count_expanded(self) -> int:
+        """Steady ops *as executed*: a re-rolled :class:`LoopRegion`
+        counts ``trips * len(body)`` instead of 1.  Equals
+        ``steady_op_count`` for fully-unrolled programs."""
+        total = 0
+        for op in self.steady:
+            if isinstance(op, LoopRegion):
+                total += op.trips * len(op.body)
+            else:
+                total += 1
+        return total
+
     def dump(self, max_ops_per_section: int | None = None) -> str:
         """Human-readable text form (used in docs, examples and tests)."""
         lines: list[str] = [f"program {self.name}"]
@@ -68,7 +81,10 @@ class Program:
             shown = ops if max_ops_per_section is None \
                 else ops[:max_ops_per_section]
             for op in shown:
-                lines.append(f"    {op}")
+                if isinstance(op, LoopRegion):
+                    lines.extend(_dump_region(op, indent="    "))
+                else:
+                    lines.append(f"    {op}")
             if max_ops_per_section is not None \
                     and len(ops) > max_ops_per_section:
                 lines.append(f"    ... ({len(ops) - max_ops_per_section} "
@@ -82,12 +98,39 @@ class Program:
         return "\n".join(lines)
 
     def op_counts(self) -> dict[str, dict[str, int]]:
-        """Per-section op histogram (drives the cost/energy models)."""
+        """Per-section op histogram (drives the cost/energy models).
+
+        Loop-region bodies contribute their ops once each (structural
+        counts, not trip-weighted) alongside a ``LoopRegion`` entry for
+        the region itself.
+        """
         out: dict[str, dict[str, int]] = {}
         for title, ops in self.sections():
             histogram: dict[str, int] = {}
             for op in ops:
                 key = type(op).__name__
                 histogram[key] = histogram.get(key, 0) + 1
+                if isinstance(op, LoopRegion):
+                    for inner in op.body:
+                        inner_key = type(inner).__name__
+                        histogram[inner_key] = \
+                            histogram.get(inner_key, 0) + 1
             out[title] = histogram
         return out
+
+
+def _dump_region(region: LoopRegion, indent: str) -> list[str]:
+    simd = " simd" if region.parallel else ""
+    lines = [f"{indent}loop {region.index} in 0..{region.trips}{simd} {{"]
+    if region.carry_params:
+        pairs = ", ".join(
+            f"{p} = {i}" for p, i in
+            zip(region.carry_params, region.carry_inits))
+        lines.append(f"{indent}  carry [{pairs}]")
+    for op in region.body:
+        lines.append(f"{indent}  {op}")
+    if region.carry_nexts:
+        nexts = ", ".join(str(v) for v in region.carry_nexts)
+        lines.append(f"{indent}  carry.next -> [{nexts}]")
+    lines.append(f"{indent}}}")
+    return lines

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.frontend import ast_nodes as ast
+from repro.faults.limits import ResourceExhausted
 from repro.frontend.errors import LoweringError, RateError, SourceLocation
 from repro.frontend.intrinsics import INTRINSICS, result_type
 from repro.frontend.types import (ArrayType, BOOLEAN, FLOAT, INT, ScalarType,
@@ -438,9 +439,18 @@ class BodyExecutor:
     def _step(self, loc: SourceLocation) -> None:
         self.steps += 1
         if self.steps > self.unroll_limit:
-            raise LoweringError(
-                f"work body exceeded {self.unroll_limit} unrolled steps "
-                "(non-terminating loop?)", loc, self.source)
+            # Routed through the fault taxonomy (CLI exit code 3) so a
+            # runaway unroll reports *which* filter blew the budget
+            # rather than a bare lowering failure.
+            raise ResourceExhausted(
+                "unroll_limit", self.unroll_limit, self.steps,
+                where=f"filter {self.node.name!r} work body",
+                detail="non-terminating loop, or a schedule with very "
+                       "large rate multiples — large-but-finite bodies "
+                       "are re-rolled into counted loops downstream "
+                       "(--reroll, on by default), so raising "
+                       "LoweringOptions.unroll_limit is usually safe",
+                loc=loc, source=self.source)
 
     def _exec_block(self, block: ast.Block, env: Env) -> None:
         block_env = env.child()

@@ -19,8 +19,8 @@ optimizer configuration; it is also handy when developing new passes.
 from __future__ import annotations
 
 from repro.frontend.types import FLOAT, INT
-from repro.lir.ops import (BinOp, CastOp, Const, LoadOp, Op, SelectOp,
-                           StateSlot, StoreOp, Temp, Value)
+from repro.lir.ops import (BinOp, CastOp, Const, LoadOp, LoopRegion, Op,
+                           SelectOp, StateSlot, StoreOp, Temp, Value)
 from repro.lir.program import Program
 
 
@@ -81,11 +81,58 @@ class _Verifier:
     def _walk(self, ops: list[Op], section: str) -> None:
         for position, op in enumerate(ops):
             where = f"{section}[{position}] ({op})"
+            if isinstance(op, LoopRegion):
+                self._check_region(op, where)
+                continue
             for operand in op.operands():
                 self._check_use(operand, where)
             self._check_op(op, where)
             if op.result is not None:
                 self._define(op.result, where)
+
+    def _check_region(self, region: LoopRegion, where: str) -> None:
+        if region.trips < 1:
+            _fail(f"{where}: loop region with {region.trips} trips")
+        if region.index.ty != INT:
+            _fail(f"{where}: non-int trip counter {region.index}")
+        if region.result is not None:
+            _fail(f"{where}: loop region carries a result (outputs must "
+                  "flow through scatter slots)")
+        if not (len(region.carry_params) == len(region.carry_inits)
+                == len(region.carry_nexts)):
+            _fail(f"{where}: region carry lists have mismatched lengths")
+        for param, init in zip(region.carry_params, region.carry_inits):
+            self._check_use(init, f"{where} carry.init")
+            if param.ty != init.ty and not (
+                    {param.ty, init.ty} == {INT, FLOAT}):
+                _fail(f"{where}: region carry init type mismatch: "
+                      f"{param} <- {init}")
+        # Index, carry params and body results are defined afresh each
+        # trip; their ids are scoped to the region.
+        scoped: list[Temp] = [region.index] + list(region.carry_params)
+        self._define(region.index, where)
+        for param in region.carry_params:
+            self._define(param, f"{where} carry parameters")
+        for position, op in enumerate(region.body):
+            inner_where = f"{where} body[{position}] ({op})"
+            if isinstance(op, LoopRegion):
+                _fail(f"{inner_where}: nested loop regions are not "
+                      "supported")
+            for operand in op.operands():
+                self._check_use(operand, inner_where)
+            self._check_op(op, inner_where)
+            if op.result is not None:
+                self._define(op.result, inner_where)
+                scoped.append(op.result)
+        for nxt in region.carry_nexts:
+            self._check_use(nxt, f"{where} carry.next")
+        for param, nxt in zip(region.carry_params, region.carry_nexts):
+            if param.ty != nxt.ty and not (
+                    {param.ty, nxt.ty} == {INT, FLOAT}):
+                _fail(f"{where}: region carry type mismatch: "
+                      f"{param} <- {nxt}")
+        for temp in scoped:
+            self.defined.discard(temp.id)
 
     def _check_op(self, op: Op, where: str) -> None:
         if isinstance(op, (LoadOp, StoreOp)):

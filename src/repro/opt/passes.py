@@ -27,9 +27,9 @@ from repro.graph.builder import apply_binary
 from repro.frontend.intrinsics import INTRINSICS
 from repro.frontend.types import BOOLEAN, FLOAT, INT
 from repro.lir.analysis import EraseEffects, OpWorklist, ProgramIndex
-from repro.lir.ops import (BinOp, CallOp, CastOp, Const, LoadOp, MoveOp, Op,
-                           SelectOp, StoreOp, Temp, UnOp, Value, const_bool,
-                           const_float, const_int)
+from repro.lir.ops import (BinOp, CallOp, CastOp, Const, LoadOp, LoopRegion,
+                           MoveOp, Op, SelectOp, StoreOp, Temp, UnOp, Value,
+                           const_bool, const_float, const_int)
 from repro.lir.program import Program
 
 _CMP_OPS = ("==", "!=", "<", "<=", ">", ">=")
@@ -408,6 +408,15 @@ def _cse_full_scan(state: FixpointState) -> int:
         for op in ops:
             if index.is_erased(op):
                 continue
+            if isinstance(op, LoopRegion):
+                # The whole region acts as a clobber for every slot its
+                # body stores: later loads must not merge with loads
+                # hoisted above the region.  The body itself is scoped
+                # separately (incremental CSE keys body ops by region).
+                for slot in op.body_slot_stores():
+                    versions[slot.name] = versions.get(slot.name, 0) + 1
+                kept.append(op)
+                continue
             if isinstance(op, StoreOp):
                 versions[op.slot.name] = versions.get(op.slot.name, 0) + 1
                 kept.append(op)
@@ -427,7 +436,7 @@ def _cse_full_scan(state: FixpointState) -> int:
                 # resurrect work DCE is about to delete.
                 kept.append(op)
                 continue
-            skey = (title, key)
+            skey = (title, None, key)
             existing = state._cse_available.get(skey)
             if existing is not None and not index.is_erased(existing):
                 _dedupe(state, existing, op)
@@ -462,7 +471,10 @@ def _cse_incremental(state: FixpointState) -> int:
             key = _cse_key(op)
         if key is None:
             continue
-        skey = (index.section_of(op), key)
+        # Scope by enclosing region: a body temp is only in scope inside
+        # its own region, so merging across the region boundary (either
+        # direction) would break SSA or hoist per-trip values.
+        skey = (index.section_of(op), index.region_of(op), key)
         existing = state._cse_available.get(skey)
         if existing is not None and index.is_erased(existing):
             existing = None
@@ -499,6 +511,15 @@ def common_subexpression_elimination(program: Program) -> int:
 
 
 # -- dead code elimination ----------------------------------------------------
+
+
+def _ops_with_bodies(program: Program):
+    """Every op in every section, with region body ops included."""
+    for _title, ops in program.sections():
+        for op in ops:
+            yield op
+            if isinstance(op, LoopRegion):
+                yield from op.body
 
 
 def _try_remove(state: FixpointState, op: Op) -> int:
@@ -570,9 +591,10 @@ def eliminate_dead_code_dense(program: Program) -> int:
         mark(value)
 
     # Stores to slots that are never loaded anywhere are dead effects.
+    # Region bodies count: a slot may only ever be read inside a loop.
     loaded_slots = {
         op.slot.name
-        for _t, ops in program.sections() for op in ops
+        for op in _ops_with_bodies(program)
         if isinstance(op, LoadOp)}
 
     removed = 0
@@ -595,7 +617,7 @@ def eliminate_dead_code_dense(program: Program) -> int:
     # Drop state slots that no remaining op touches.
     used_slots = {
         op.slot.name
-        for _t, ops in program.sections() for op in ops
+        for op in _ops_with_bodies(program)
         if isinstance(op, (LoadOp, StoreOp))}
     program.state_slots = [s for s in program.state_slots
                            if s.name in used_slots]

@@ -3,8 +3,8 @@
 ``optimize`` builds a :class:`PassManager` and runs the configured
 pipeline.  The default order matches the classic sequence::
 
-    copy-prop → promote (mem2reg/SROA) → {const-fold, carries, CSE, DCE}*
-    → pressure scheduling
+    copy-prop → promote (mem2reg/SROA) → re-roll (counted loop regions)
+    → {const-fold, carries, CSE, DCE}* → pressure scheduling
 
 but the bracketed fixpoint group no longer rescans the whole program
 each round: the passes share a :class:`repro.lir.analysis.ProgramIndex`
@@ -39,6 +39,7 @@ from repro.opt.passes import (FixpointState, eliminate_common_subexpressions,
                               fold_constants, propagate_copies,
                               propagate_copies_dense)
 from repro.opt.promote import PromoteOptions, promote_state
+from repro.opt.reroll import reroll_steady
 from repro.opt.schedule_ops import schedule_for_pressure
 
 _FIXPOINT_ROUNDS = 64
@@ -49,6 +50,8 @@ _PASS_ALIASES = {
     "copy_propagation": "copy_propagation",
     "promote": "promote_state",
     "promote_state": "promote_state",
+    "reroll": "reroll_steady",
+    "reroll_steady": "reroll_steady",
     "fold": "constant_folding",
     "constant_folding": "constant_folding",
     "carry": "carries",
@@ -72,6 +75,7 @@ _FIXPOINT_STEPS = frozenset((
 _AGGREGATE_FIELD = {
     "copy_propagation": "moves_propagated",
     "promote_state": "slots_promoted",
+    "reroll_steady": "regions_rerolled",
     "constant_folding": "ops_folded",
     "specialize_constant_carries": "carries_specialized",
     "eliminate_dead_carries": "carries_specialized",
@@ -104,6 +108,11 @@ def parse_pipeline(spec: str) -> tuple[str, ...]:
 class OptOptions:
     copy_propagation: bool = True
     promote_state: bool = True
+    # Re-roll repeated firing runs in the unrolled steady section into
+    # counted LoopRegions (see repro.opt.reroll); ``reroll_min_repeat``
+    # is the smallest repeat count worth collapsing.
+    reroll: bool = True
+    reroll_min_repeat: int = 4
     constant_folding: bool = True
     carry_specialization: bool = True
     cse: bool = True
@@ -142,8 +151,9 @@ class OptOptions:
     @classmethod
     def none(cls) -> "OptOptions":
         return cls(copy_propagation=False, promote_state=False,
-                   constant_folding=False, carry_specialization=False,
-                   cse=False, dce=False, schedule_pressure=False)
+                   reroll=False, constant_folding=False,
+                   carry_specialization=False, cse=False, dce=False,
+                   schedule_pressure=False)
 
     def resolved_pipeline(self) -> tuple[str, ...]:
         if self.pipeline is not None:
@@ -159,6 +169,8 @@ class OptOptions:
             steps.append("copy_propagation")
         if self.promote_state:
             steps.append("promote_state")
+        if self.reroll:
+            steps.append("reroll_steady")
         if self.constant_folding:
             steps.append("constant_folding")
         if self.carry_specialization:
@@ -187,6 +199,7 @@ class OptStats:
     ops_after: dict[str, int] = field(default_factory=dict)
     moves_propagated: int = 0
     slots_promoted: int = 0
+    regions_rerolled: int = 0
     ops_folded: int = 0
     carries_specialized: int = 0
     ops_deduplicated: int = 0
@@ -310,6 +323,24 @@ class PassManager:
             verify_index(self.program, self.index)
         return promoted
 
+    def _step_reroll(self, round_index: int | None = None) -> int:
+        # Re-rolling rewrites the raw steady list (and adds gather/
+        # scatter slots), so like promotion it wants a compacted program
+        # and invalidates the index when it fires.
+        if self.index is not None:
+            self.index.compact()
+        with trace.span("opt.reroll_steady") as span:
+            regions = reroll_steady(
+                self.program, self.options.reroll_min_repeat)
+            span.annotate(regions=regions)
+        obs_metrics.counter("opt.reroll_steady.regions").inc(regions)
+        self._record("reroll_steady", regions)
+        if regions:
+            self._invalidate()
+        if self.options.verify_analyses and self.index is not None:
+            verify_index(self.program, self.index)
+        return regions
+
     def _step_constant_folding(self, round_index: int | None = None) -> int:
         state = self._ensure_state()
         if round_index is not None and not state.pending_fold():
@@ -363,6 +394,7 @@ class PassManager:
     _STEPS = {
         "copy_propagation": _step_copy_propagation,
         "promote_state": _step_promote_state,
+        "reroll_steady": _step_reroll,
         "constant_folding": _step_constant_folding,
         "carries": _step_carries,
         "common_subexpression_elimination": _step_cse,

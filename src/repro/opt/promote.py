@@ -23,8 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.frontend.types import FLOAT, INT
-from repro.lir.ops import (Const, LoadOp, Op, StateSlot, StoreOp, Temp,
-                           Value, const_bool, const_float, const_int)
+from repro.lir.ops import (Const, LoadOp, LoopRegion, Op, StateSlot, StoreOp,
+                           Temp, Value, const_bool, const_float, const_int)
 from repro.lir.program import Program
 
 
@@ -54,6 +54,17 @@ def _classify(program: Program,
     steady_stored: set[str] = set()
     for title, ops in program.sections():
         for op in ops:
+            if isinstance(op, LoopRegion):
+                # Region bodies index their gather/scatter slots by the
+                # trip counter; the promotion sweep never descends into
+                # a body, so anything a body touches must stay a slot.
+                for slot in op.body_slot_loads():
+                    promotable.discard(slot.name)
+                for slot in op.body_slot_stores():
+                    promotable.discard(slot.name)
+                    if title == "steady":
+                        steady_stored.add(slot.name)
+                continue
             if not isinstance(op, (LoadOp, StoreOp)):
                 continue
             slot = op.slot

@@ -26,13 +26,14 @@ from __future__ import annotations
 import heapq
 from collections import defaultdict
 
-from repro.lir.ops import (CallOp, LoadOp, Op, PrintOp, StoreOp, Temp)
+from repro.lir.ops import LoadOp, LoopRegion, Op, StoreOp, Temp
 from repro.lir.program import Program
 
 
 def _is_effect(op: Op) -> bool:
-    return isinstance(op, (StoreOp, PrintOp)) \
-        or (isinstance(op, CallOp) and not op.pure)
+    # Stores, prints, impure calls — and whole loop regions, which carry
+    # their body's effects.
+    return op.has_side_effect
 
 
 def _build_dependences(ops: list[Op]) -> list[set[int]]:
@@ -47,6 +48,23 @@ def _build_dependences(ops: list[Op]) -> list[set[int]]:
         for operand in op.operands():
             if isinstance(operand, Temp) and operand.id in last_def:
                 preds[index].add(last_def[operand.id])
+        if isinstance(op, LoopRegion):
+            # A region reads and writes whatever its body touches: treat
+            # it as a load of every body-loaded slot and a store to every
+            # body-stored slot so outer accesses stay on the right side.
+            stored = {slot.name for slot in op.body_slot_stores()}
+            loaded = {slot.name for slot in op.body_slot_loads()}
+            for name in sorted(loaded - stored):
+                if name in last_store_to:
+                    preds[index].add(last_store_to[name])
+                loads_since_store[name].append(index)
+            for name in sorted(stored):
+                for load_index in loads_since_store[name]:
+                    preds[index].add(load_index)
+                loads_since_store[name] = []
+                if name in last_store_to:
+                    preds[index].add(last_store_to[name])
+                last_store_to[name] = index
         if isinstance(op, LoadOp):
             if op.slot.name in last_store_to:
                 preds[index].add(last_store_to[op.slot.name])

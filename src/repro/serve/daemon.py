@@ -315,6 +315,17 @@ class ServeServer:
                 opt.pipeline = pipeline
             except (TypeError, ValueError) as error:
                 raise _usage(str(error)) from None
+        reroll = request.get("reroll")
+        if reroll is not None:
+            if not isinstance(reroll, bool):
+                raise _usage("'reroll' must be a boolean")
+            opt.reroll = reroll
+        min_repeat = request.get("reroll_min_repeat")
+        if min_repeat is not None:
+            if not isinstance(min_repeat, int) \
+                    or isinstance(min_repeat, bool) or min_repeat < 2:
+                raise _usage("'reroll_min_repeat' must be an integer >= 2")
+            opt.reroll_min_repeat = min_repeat
         lowering = LoweringOptions(
             eliminate_splitjoin=not request.get("no_elim", False))
         limits = None

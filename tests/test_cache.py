@@ -67,6 +67,38 @@ class TestKeys:
         with pytest.raises(ValueError):
             codegen_fingerprint("jit")
 
+    def test_codegen_version_bump_invalidates(self, tiny_stream,
+                                              tmp_path, monkeypatch):
+        """A CODEGEN_VERSION bump must *miss* (never corrupt or reuse):
+        the stale artifact stays intact under its old key and becomes
+        GC-eligible, while the new generator gets a fresh slot."""
+        import repro.backend.laminar_c as laminar_c
+
+        cache = ArtifactCache(tmp_path, max_bytes=0)
+        monkeypatch.setattr(laminar_c, "CODEGEN_VERSION", 1)
+        old_key, old_components = native_key(tiny_stream)
+        cache.publish(old_key, old_components,
+                      {"prog.c": "/* built by codegen v1 */"})
+
+        monkeypatch.setattr(laminar_c, "CODEGEN_VERSION", 2)
+        new_key, new_components = native_key(tiny_stream)
+        assert new_key != old_key
+        assert new_components["codegen"] != old_components["codegen"]
+        # New generator misses; the old bundle is untouched.
+        assert cache.lookup(new_key) is None
+        stale = cache.lookup(old_key)
+        assert stale is not None
+        assert stale.artifact("prog.c").read_text() \
+            == "/* built by codegen v1 */"
+        # The orphaned entry is ordinary LRU fodder once a new build
+        # is published and protected.
+        cache.publish(new_key, new_components,
+                      {"prog.c": "/* built by codegen v2 */"})
+        result = cache.gc(max_bytes=0, protect=new_key)
+        assert result["evicted"] >= 1
+        assert cache.lookup(old_key) is None
+        assert cache.lookup(new_key) is not None
+
     def test_cache_dir_env_override(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "alt"))
         assert cache_dir() == tmp_path / "alt"

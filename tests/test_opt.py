@@ -393,8 +393,10 @@ class TestPipelineIntegration:
         monkeypatch.setattr(pipeline_mod, "_FIXPOINT_ROUNDS", 1)
         from repro.lir import lower
         program = lower(demo_stream.schedule, demo_stream.source)
+        # Re-rolling collapses the cross-instance redundancy that keeps
+        # CSE busy past round 1, so pin it off to reach the give-up path.
         with pytest.warns(RuntimeWarning, match="did not reach a fixpoint"):
-            stats = optimize(program)
+            stats = optimize(program, OptOptions(reroll=False))
         assert not stats.converged
         assert stats.fixpoint_rounds == 1
 
@@ -544,8 +546,10 @@ class TestPassManagerConfig:
     def test_max_rounds_caps_fixpoint(self, demo_stream):
         from repro.lir import lower
         program = lower(demo_stream.schedule, demo_stream.source)
+        # reroll=False: the re-rolled demo converges within one round.
         with pytest.warns(RuntimeWarning, match="did not reach a fixpoint"):
-            stats = optimize(program, OptOptions(max_rounds=1))
+            stats = optimize(program,
+                             OptOptions(max_rounds=1, reroll=False))
         assert stats.fixpoint_rounds == 1
         assert not stats.converged
 

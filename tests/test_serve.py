@@ -244,8 +244,17 @@ class TestCliSurface:
         from repro.cli import main
 
         assert main(["cache", "stats", "--dir", str(tmp_path)]) == 0
+        text = capsys.readouterr().out
+        assert "entries:     0" in text
+
+    def test_cache_stats_cli_json(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["cache", "stats", "--json",
+                     "--dir", str(tmp_path)]) == 0
         stats = json.loads(capsys.readouterr().out)
         assert stats["entries"] == 0
+        assert stats["root"] == str(tmp_path)
 
     def test_cache_gc_and_clear_cli(self, tmp_path, capsys):
         from repro.cli import main

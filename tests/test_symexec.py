@@ -97,13 +97,23 @@ class TestLoops:
         assert fifo.outputs == laminar.outputs
 
     def test_runaway_loop_detected(self):
-        with pytest.raises(LoweringError, match="unrolled steps"):
+        from repro.faults.limits import ResourceExhausted
+        with pytest.raises(ResourceExhausted) as info:
             steady_of(
                 "float->float filter F() { work push 1 pop 1 { "
                 "int i = 0; while (i >= 0) { i = i + 1; } "
                 "push(pop()); } }"
                 "void->void pipeline P { add Src(); add F(); add Snk(); }",
                 LoweringOptions(unroll_limit=1000))
+        error = info.value
+        assert error.resource == "unroll_limit"
+        assert error.limit == 1000
+        assert "filter 'F'" in error.where
+        assert "--reroll" in str(error)
+        # Still a CompileError subclass, so existing except clauses and
+        # the CLI's exit-code mapping keep working.
+        from repro.frontend.errors import CompileError
+        assert isinstance(error, CompileError)
 
 
 class TestIfConversion:
