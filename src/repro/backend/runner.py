@@ -26,6 +26,7 @@ a hostile machine.
 
 from __future__ import annotations
 
+import contextvars
 import json
 import os
 import shutil
@@ -351,8 +352,13 @@ def _run_watched(cmd: list[str], timeout: float,
             stderr_lines.append(line)
             watch.note_line(line.rstrip("\n"))
 
-    readers = [threading.Thread(target=_drain_stdout, daemon=True),
-               threading.Thread(target=_drain_stderr, daemon=True)]
+    # New threads do not inherit contextvars: copy the caller's context
+    # so heartbeat gauges published by the stderr reader stay attributed
+    # to the serve request (if any) that launched this binary.
+    readers = [threading.Thread(target=contextvars.copy_context().run,
+                                args=(_drain_stdout,), daemon=True),
+               threading.Thread(target=contextvars.copy_context().run,
+                                args=(_drain_stderr,), daemon=True)]
     for reader in readers:
         reader.start()
 

@@ -156,13 +156,16 @@ class ArtifactCache:
         path = self.entry_path(key)
         if not path.is_dir():
             obs_metrics.counter("cache.miss").inc()
+            obs_bus.emit_event("cache.miss", key=key)
             return None
         entry = self._load_entry(key, path)
         if entry is None:
             self._quarantine(key, path)
             obs_metrics.counter("cache.miss").inc()
+            obs_bus.emit_event("cache.miss", key=key, corrupt=True)
             return None
         obs_metrics.counter("cache.hit").inc()
+        obs_bus.emit_event("cache.hit", key=key)
         self._touch(path)
         return entry
 
@@ -272,6 +275,12 @@ class ArtifactCache:
                 out.append((stamp, path.name, path, _dir_bytes(path)))
         out.sort(key=lambda item: (item[0], item[1]))
         return out
+
+    def size(self) -> tuple[int, int]:
+        """``(entries, bytes)`` without reading any ``meta.json`` —
+        cheap enough for every ``/healthz`` probe."""
+        entries = self._entries()
+        return len(entries), sum(size for *_rest, size in entries)
 
     def stats(self) -> dict:
         """Filesystem-derived store statistics plus in-process counters."""

@@ -42,9 +42,17 @@ Commands
     across processes — see ``docs/SERVING.md``.
 ``serve [--socket PATH | --port N]``
     The compile-once daemon: a threaded HTTP API (``POST /compile``,
-    ``POST /run``, ``GET /metrics``, ``GET /cache/stats``) over the
-    artifact cache, with single-flight compilation dedup and
-    per-request admission control (``--limits``, ``--max-iterations``).
+    ``POST /run``, ``GET /metrics``, ``GET /cache/stats``,
+    ``GET /debug/requests``) over the artifact cache, with single-flight
+    compilation dedup, per-request admission control (``--limits``,
+    ``--max-iterations``), per-request trace contexts with W3C
+    ``traceparent`` propagation, and a structured JSONL access log
+    (``--access-log``/``--no-access-log``).
+``tail [LOG] [--follow] [--route SUBSTR] [--min-ms MS]``
+    Render the daemon's access log (or an ``--event-log`` JSONL file)
+    as aligned per-request lines — request id, route, status, latency,
+    cache hit/dedup/degraded flags — highlighting slow requests;
+    ``--follow`` streams new records live.
 ``metrics-serve [TARGET]``
     Serve the metrics registry as Prometheus/OpenMetrics text on a
     stdlib HTTP endpoint (``/metrics``, ``/healthz``); ``--self-check``
@@ -765,7 +773,7 @@ def cmd_cache(args: argparse.Namespace) -> int:
 
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.cache import ArtifactCache
-    from repro.serve import ServeServer
+    from repro.serve import ACCESS_LOG_ENV, DEFAULT_ACCESS_LOG, ServeServer
 
     cache = ArtifactCache(Path(args.cache_dir) if args.cache_dir else None)
     limits = getattr(args, "limits", None)
@@ -773,13 +781,24 @@ def cmd_serve(args: argparse.Namespace) -> int:
         limits = active_limits().merged(limits)
     elif active_limits() != ResourceLimits():
         limits = active_limits()
+    if args.no_access_log:
+        access_log = None
+    else:
+        access_log = args.access_log or os.environ.get(ACCESS_LOG_ENV)
+        if access_log is None and not args.self_check:
+            access_log = DEFAULT_ACCESS_LOG
     server = ServeServer(
         host=args.host, port=args.port,
         socket_path=args.socket, cache=cache, limits=limits,
-        max_iterations=args.max_iterations).start()
+        max_iterations=args.max_iterations,
+        access_log=access_log).start()
     print(f"serving compile/run API at {server.url} "
-          "(POST /compile, POST /run, GET /metrics, GET /cache/stats; "
-          "see docs/SERVING.md)", file=sys.stderr)
+          "(POST /compile, POST /run, GET /metrics, GET /cache/stats, "
+          "GET /debug/requests; see docs/SERVING.md)", file=sys.stderr)
+    if access_log is not None:
+        print(f"access log: {access_log} "
+              "(tail it with `python -m repro tail --follow`)",
+              file=sys.stderr)
     try:
         if args.self_check:
             from repro.serve import ServeClient
@@ -806,6 +825,111 @@ def cmd_serve(args: argparse.Namespace) -> int:
         return 0
     finally:
         server.stop()
+
+
+def _tail_record(raw: str) -> dict | None:
+    """Normalize one JSONL line to an access-style record, or ``None``.
+
+    Understands both the daemon's access log (``type: access``) and the
+    ``serve.request`` events of a ``--event-log`` JSONL file.
+    """
+    try:
+        record = json.loads(raw)
+    except json.JSONDecodeError:
+        return None
+    if not isinstance(record, dict):
+        return None
+    if record.get("type") == "access":
+        return record
+    if record.get("type") == "event" \
+            and record.get("name") == "serve.request":
+        attrs = record.get("attrs", {})
+        return {"wall_time": record.get("wall_time", 0.0),
+                "request_id": attrs.get("request_id", "-"),
+                "method": "-",
+                "route": attrs.get("route", "-"),
+                "status": attrs.get("status", "-"),
+                "backend": attrs.get("backend"),
+                "duration_ms": attrs.get("duration_ms", 0.0)}
+    return None
+
+
+def _render_tail_line(record: dict, use_color: bool,
+                      slow_ms: float) -> str:
+    wall = float(record.get("wall_time") or 0.0)
+    stamp = time.strftime("%H:%M:%S", time.localtime(wall))
+    stamp += f".{int(wall % 1 * 1000):03d}"
+    ms = float(record.get("duration_ms") or 0.0)
+    flags = []
+    hit = record.get("cache_hit")
+    if hit is True:
+        flags.append("hit")
+    elif hit is False:
+        flags.append("miss")
+    if record.get("dedup"):
+        flags.append("dedup")
+    if record.get("degraded"):
+        flags.append("degraded")
+    line = (f"{stamp}  {str(record.get('request_id') or '-'):<16}  "
+            f"{str(record.get('method') or '-'):<4} "
+            f"{str(record.get('route') or '-'):<15} "
+            f"{str(record.get('status') or '-'):>3}  "
+            f"{ms:>8.1f}ms  "
+            f"{','.join(flags) or '-':<10} "
+            f"{str(record.get('run_route') or '-'):<7} "
+            f"{record.get('stream') or ''}").rstrip()
+    if use_color and ms >= slow_ms:
+        return f"\x1b[31m{line}\x1b[0m"
+    return line
+
+
+def cmd_tail(args: argparse.Namespace) -> int:
+    path = Path(args.log)
+    if not path.exists() and not args.follow:
+        print(f"error: no such log: {path} (start the daemon with an "
+              "access log, or pass a --event-log file)", file=sys.stderr)
+        return 2
+    use_color = args.color == "always" or \
+        (args.color == "auto" and sys.stdout.isatty())
+    offset = 0
+    pending = ""
+    shown = 0
+
+    def drain() -> None:
+        nonlocal offset, pending, shown
+        if not path.exists():
+            return
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                handle.seek(offset)
+                pending += handle.read()
+                offset = handle.tell()
+        except OSError:
+            return
+        while "\n" in pending:
+            raw, pending = pending.split("\n", 1)
+            record = _tail_record(raw) if raw.strip() else None
+            if record is None:
+                continue
+            if args.route and args.route not in str(record.get("route")):
+                continue
+            if float(record.get("duration_ms") or 0.0) < args.min_ms:
+                continue
+            print(_render_tail_line(record, use_color, args.slow_ms),
+                  flush=True)
+            shown += 1
+
+    drain()
+    if not args.follow:
+        if shown == 0:
+            print("# no matching records", file=sys.stderr)
+        return 0
+    try:
+        while True:  # pragma: no cover - interactive follow loop
+            time.sleep(0.25)
+            drain()
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        return 0
 
 
 def cmd_list(_args: argparse.Namespace) -> int:
@@ -1029,11 +1153,43 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="N",
                         help="reject /run requests asking for more than "
                              "N iterations (default 1000000)")
+    daemon.add_argument("--access-log", metavar="PATH", default=None,
+                        help="append one JSONL record per request to "
+                             "PATH (default .repro/serve-access.jsonl, "
+                             "or REPRO_ACCESS_LOG; off in --self-check "
+                             "unless set explicitly)")
+    daemon.add_argument("--no-access-log", action="store_true",
+                        help="disable the access log")
     daemon.add_argument("--self-check", action="store_true",
                         help="serve, round-trip one /run request "
                              "through the daemon, print its checksum, "
                              "exit")
     daemon.set_defaults(func=cmd_serve)
+
+    tail = sub.add_parser(
+        "tail",
+        help="render a serve access log (or --event-log JSONL) as "
+             "aligned per-request lines")
+    tail.add_argument("log", nargs="?",
+                      default=str(Path(".repro") / "serve-access.jsonl"),
+                      help="JSONL log to read (default "
+                           ".repro/serve-access.jsonl)")
+    tail.add_argument("-f", "--follow", action="store_true",
+                      help="keep the log open and print records as "
+                           "they arrive (waits for the file to appear)")
+    tail.add_argument("--route", metavar="SUBSTR",
+                      help="only requests whose route contains SUBSTR")
+    tail.add_argument("--min-ms", type=float, default=0.0, metavar="MS",
+                      help="only requests at least MS milliseconds slow")
+    tail.add_argument("--slow-ms", type=float, default=500.0,
+                      metavar="MS",
+                      help="highlight requests at least MS milliseconds "
+                           "slow (default 500)")
+    tail.add_argument("--color", choices=("auto", "always", "never"),
+                      default="auto",
+                      help="when to colorize slow requests "
+                           "(default auto: only on a tty)")
+    tail.set_defaults(func=cmd_tail)
 
     lst = sub.add_parser("list", help="list the benchmark suite")
     lst.set_defaults(func=cmd_list)

@@ -16,7 +16,11 @@ The pieces work together:
 * :mod:`repro.obs.export` — text-tree, JSON and Chrome trace-event
   renderings of a collected span forest;
 * :mod:`repro.obs.ledger` — the persistent content-addressed run ledger
-  behind ``python -m repro history`` / ``compare``.
+  behind ``python -m repro history`` / ``compare``;
+* :mod:`repro.obs.reqctx` — per-request contextvars scoping: the serve
+  daemon activates a :class:`~repro.obs.reqctx.RequestContext` per HTTP
+  request so spans, metric deltas and events stay attributable under
+  concurrency, with W3C ``traceparent`` propagation end-to-end.
 
 Spans and metrics are off by default and near-free when disabled; turn
 them on with ``REPRO_TRACE=1``, :func:`repro.obs.trace.enable`, the
@@ -25,7 +29,7 @@ subcommand.  Events always flow (a ``native.stall`` must not vanish
 because nobody asked for a profile).  See ``docs/OBSERVABILITY.md``.
 """
 
-from repro.obs import bus, export, ledger, metrics, sinks, trace
+from repro.obs import bus, export, ledger, metrics, reqctx, sinks, trace
 from repro.obs.bus import (Event, TelemetryBus, TelemetrySink, emit_event,
                            get_bus)
 from repro.obs.export import (format_tree, to_chrome_trace, to_json,
@@ -33,19 +37,24 @@ from repro.obs.export import (format_tree, to_chrome_trace, to_json,
 from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
                                counter, gauge, histogram, publish_counters,
                                registry)
-from repro.obs.sinks import (ChromeTraceSink, JsonlEventSink, MetricsServer,
-                             OpenMetricsSink, to_openmetrics)
+from repro.obs.reqctx import (RequestContext, make_traceparent,
+                              parse_traceparent)
+from repro.obs.sinks import (ChromeTraceSink, JsonlAccessLog, JsonlEventSink,
+                             MetricsServer, OpenMetricsSink, span_tree,
+                             to_openmetrics)
 from repro.obs.trace import (Span, Tracer, current_span, disable, enable,
                              get_trace, get_tracer, is_enabled, span,
                              traced, tracing)
 
 __all__ = [
     "ChromeTraceSink", "Counter", "Event", "Gauge", "Histogram",
-    "JsonlEventSink", "MetricsRegistry", "MetricsServer", "OpenMetricsSink",
-    "Span", "TelemetryBus", "TelemetrySink", "Tracer", "bus", "counter",
-    "current_span", "disable", "emit_event", "enable", "export",
-    "format_tree", "gauge", "get_bus", "get_trace", "get_tracer",
-    "histogram", "is_enabled", "ledger", "metrics", "publish_counters",
-    "registry", "sinks", "span", "to_chrome_trace", "to_json",
-    "to_openmetrics", "trace", "traced", "tracing", "write_chrome_trace",
+    "JsonlAccessLog", "JsonlEventSink", "MetricsRegistry", "MetricsServer",
+    "OpenMetricsSink", "RequestContext", "Span", "TelemetryBus",
+    "TelemetrySink", "Tracer", "bus", "counter", "current_span", "disable",
+    "emit_event", "enable", "export", "format_tree", "gauge", "get_bus",
+    "get_trace", "get_tracer", "histogram", "is_enabled", "ledger",
+    "make_traceparent", "metrics", "parse_traceparent", "publish_counters",
+    "registry", "reqctx", "sinks", "span", "span_tree", "to_chrome_trace",
+    "to_json", "to_openmetrics", "trace", "traced", "tracing",
+    "write_chrome_trace",
 ]

@@ -24,6 +24,11 @@ Three kinds of telemetry flow through:
 
 Sinks must tolerate being called from any thread; the bus serializes
 fan-out under one lock.
+
+While a :class:`repro.obs.reqctx.RequestContext` is active, every
+emitted event is stamped with that request's ``request_id``/``trace_id``
+attributes and additionally appended to the context's own event list, so
+a request's events can be read back without filtering the global ring.
 """
 
 from __future__ import annotations
@@ -33,7 +38,7 @@ import time
 from collections import deque
 from dataclasses import dataclass, field
 
-from repro.obs import trace
+from repro.obs import reqctx, trace
 
 EVENT_BUFFER = 256
 
@@ -121,8 +126,14 @@ class TelemetryBus:
 
     def emit(self, name: str, /, **attrs: object) -> Event:
         """Publish an event: buffered in-process and sent to every sink."""
+        ctx = reqctx.current()
+        if ctx is not None:
+            attrs.setdefault("request_id", ctx.request_id)
+            attrs.setdefault("trace_id", ctx.trace_id)
         event = Event(name=name, wall_time=time.time(),
                       monotonic_ns=time.monotonic_ns(), attrs=attrs)
+        if ctx is not None:
+            ctx.events.append(event)
         with self._lock:
             self._events.append(event)
             sinks = list(self._sinks)

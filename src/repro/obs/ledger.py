@@ -73,8 +73,16 @@ def make_body(kind: str, target: str, *, spec_hash: str | None = None,
               iterations: int | None = None,
               flags: dict | None = None, checksum: str | None = None,
               seconds: float | None = None,
-              metrics: dict | None = None) -> dict:
-    """The content-addressed part of a record; ``None`` fields dropped."""
+              metrics: dict | None = None,
+              request_id: str | None = None,
+              trace_id: str | None = None) -> dict:
+    """The content-addressed part of a record; ``None`` fields dropped.
+
+    ``request_id``/``trace_id`` tie a serve-daemon record back to the
+    HTTP request (and the client's ``traceparent``) that produced it —
+    note they make otherwise-identical runs distinct records, which is
+    the point: each request is its own trajectory entry.
+    """
     body = {
         "kind": kind,
         "target": target,
@@ -86,6 +94,8 @@ def make_body(kind: str, target: str, *, spec_hash: str | None = None,
         "checksum": checksum,
         "seconds": seconds,
         "metrics": metrics or {},
+        "request_id": request_id,
+        "trace_id": trace_id,
     }
     return {key: value for key, value in body.items() if value is not None}
 

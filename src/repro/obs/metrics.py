@@ -16,6 +16,19 @@ near-free on hot paths.
 Naming convention: dot-separated, lowest-frequency prefix first —
 ``opt.constant_folding.ops``, ``schedule.steady_firings``,
 ``interp.laminar.steady.total_ops``.
+
+Instruments may carry **labels** (``histogram("serve.request.seconds",
+route="/run", status="200")``): each distinct label set is its own
+instrument, rendered as OpenMetrics label pairs by
+:func:`repro.obs.sinks.to_openmetrics`.  Keep label values low-cardinality
+(routes, statuses, backend names — never keys, ids or paths); every new
+value mints a time series that lives for the life of the process.
+
+Like tracing, recording is **context-local**: while a
+:class:`repro.obs.reqctx.RequestContext` is active the module helpers
+publish into that request's private registry, which the daemon merges
+into the process-global one when the request completes (counters add,
+gauges last-write-wins, histograms pool their samples).
 """
 
 from __future__ import annotations
@@ -23,16 +36,36 @@ from __future__ import annotations
 import math
 import threading
 
-from repro.obs import trace
+from repro.obs import reqctx, trace
+
+Labels = tuple[tuple[str, str], ...]
+
+
+def _label_items(labels: dict | None) -> Labels:
+    """Canonical (sorted, stringified) form of a label mapping."""
+    if not labels:
+        return ()
+    return tuple(sorted((str(key), str(value))
+                        for key, value in labels.items()))
+
+
+def _display_name(name: str, labels: Labels) -> str:
+    """``name`` or ``name{k="v",...}`` — how a labeled metric is shown
+    in :meth:`MetricsRegistry.as_dict`, ledger snapshots and reports."""
+    if not labels:
+        return name
+    inner = ",".join(f'{key}="{value}"' for key, value in labels)
+    return f"{name}{{{inner}}}"
 
 
 class Counter:
     """A monotonically increasing count."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "labels", "value")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, labels: Labels = ()):
         self.name = name
+        self.labels = labels
         self.value = 0
 
     def inc(self, amount: int = 1) -> None:
@@ -42,14 +75,18 @@ class Counter:
 class Gauge:
     """A last-value-wins measurement."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "labels", "value")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, labels: Labels = ()):
         self.name = name
+        self.labels = labels
         self.value: float = 0
 
     def set(self, value: float) -> None:
         self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
 
 
 class Histogram:
@@ -64,11 +101,12 @@ class Histogram:
 
     MAX_SAMPLES = 512
 
-    __slots__ = ("name", "count", "total", "min", "max", "_samples",
-                 "_stride")
+    __slots__ = ("name", "labels", "count", "total", "min", "max",
+                 "_samples", "_stride")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, labels: Labels = ()):
         self.name = name
+        self.labels = labels
         self.count = 0
         self.total = 0.0
         self.min: float | None = None
@@ -118,18 +156,45 @@ class Histogram:
             out["p99"] = self.percentile(99)
         return out
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's observations into this one.
+
+        Count/total/min/max combine exactly; the sample reservoirs are
+        concatenated and re-decimated, so percentiles stay the usual
+        bounded-reservoir estimates.
+        """
+        if not other.count:
+            return
+        self.count += other.count
+        self.total += other.total
+        if self.min is None or (other.min is not None
+                                and other.min < self.min):
+            self.min = other.min
+        if self.max is None or (other.max is not None
+                                and other.max > self.max):
+            self.max = other.max
+        self._samples.extend(other._samples)
+        self._stride = max(self._stride, other._stride)
+        while len(self._samples) > self.MAX_SAMPLES:
+            self._samples = self._samples[::2]
+            self._stride *= 2
+
 
 class _NullInstrument:
     """Shared do-nothing instrument returned while recording is off."""
 
     __slots__ = ()
     name = "<metrics disabled>"
+    labels: Labels = ()
     value = 0
 
     def inc(self, amount: int = 1) -> None:
         pass
 
     def set(self, value: float) -> None:
+        pass
+
+    def add(self, delta: float) -> None:
         pass
 
     def observe(self, value: float) -> None:
@@ -140,83 +205,134 @@ NULL_INSTRUMENT = _NullInstrument()
 
 
 class MetricsRegistry:
-    """Thread-safe name → instrument map with get-or-create semantics."""
+    """Thread-safe (name, labels) → instrument map, get-or-create.
+
+    A *family* (all instruments sharing a name, across label sets) has a
+    single type — asking for ``counter("x")`` after ``gauge("x", ...)``
+    raises ``TypeError`` regardless of labels.
+    """
 
     def __init__(self):
         self._lock = threading.Lock()
-        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._metrics: dict[tuple[str, Labels],
+                            Counter | Gauge | Histogram] = {}
+        self._family_types: dict[str, type] = {}
 
-    def _get(self, name: str, cls):
-        metric = self._metrics.get(name)
+    def _get(self, name: str, cls, labels: dict | None = None):
+        key = (name, _label_items(labels))
+        metric = self._metrics.get(key)
         if metric is None:
             with self._lock:
-                metric = self._metrics.get(name)
+                metric = self._metrics.get(key)
                 if metric is None:
-                    metric = self._metrics[name] = cls(name)
+                    existing = self._family_types.get(name)
+                    if existing is not None and existing is not cls:
+                        raise TypeError(
+                            f"metric {name!r} already registered as "
+                            f"{existing.__name__}, requested {cls.__name__}")
+                    self._family_types[name] = cls
+                    metric = self._metrics[key] = cls(name, key[1])
         if not isinstance(metric, cls):
             raise TypeError(
                 f"metric {name!r} already registered as "
                 f"{type(metric).__name__}, requested {cls.__name__}")
         return metric
 
-    def counter(self, name: str) -> Counter:
-        return self._get(name, Counter)
+    def counter(self, name: str, /, **labels: object) -> Counter:
+        return self._get(name, Counter, labels)
 
-    def gauge(self, name: str) -> Gauge:
-        return self._get(name, Gauge)
+    def gauge(self, name: str, /, **labels: object) -> Gauge:
+        return self._get(name, Gauge, labels)
 
-    def histogram(self, name: str) -> Histogram:
-        return self._get(name, Histogram)
+    def histogram(self, name: str, /, **labels: object) -> Histogram:
+        return self._get(name, Histogram, labels)
+
+    def _sorted(self) -> list[Counter | Gauge | Histogram]:
+        with self._lock:
+            return [self._metrics[key] for key in sorted(self._metrics)]
 
     def names(self) -> list[str]:
-        return sorted(self._metrics)
+        """Sorted display names (labeled metrics render as
+        ``name{k="v"}``)."""
+        return [_display_name(metric.name, metric.labels)
+                for metric in self._sorted()]
 
     def instruments(self) -> dict[str, Counter | Gauge | Histogram]:
-        """Name → instrument snapshot (sorted), for typed exporters."""
-        return {name: self._metrics[name] for name in self.names()}
+        """Display name → instrument snapshot (sorted), for exporters."""
+        return {_display_name(metric.name, metric.labels): metric
+                for metric in self._sorted()}
 
     def as_dict(self) -> dict[str, object]:
-        """Snapshot of every metric, sorted by name.
+        """Snapshot of every metric, sorted by name then label set.
 
         Counters and gauges map to their value, histograms to their
         summary dict — directly JSON-serializable.
         """
         out: dict[str, object] = {}
-        for name in self.names():
-            metric = self._metrics[name]
-            out[name] = metric.summary() if isinstance(metric, Histogram) \
+        for metric in self._sorted():
+            value = metric.summary() if isinstance(metric, Histogram) \
                 else metric.value
+            out[_display_name(metric.name, metric.labels)] = value
         return out
+
+    def merge_into(self, target: "MetricsRegistry") -> None:
+        """Fold this registry into ``target``: counters add, gauges
+        last-write-wins, histograms pool their samples.
+
+        This is how per-request deltas land in the process-wide
+        aggregates when a daemon request completes."""
+        for metric in self._sorted():
+            labels = dict(metric.labels)
+            if isinstance(metric, Counter):
+                if metric.value:
+                    target.counter(metric.name, **labels).inc(metric.value)
+            elif isinstance(metric, Gauge):
+                target.gauge(metric.name, **labels).set(metric.value)
+            else:
+                target.histogram(metric.name, **labels).merge(metric)
 
     def reset(self) -> None:
         with self._lock:
             self._metrics = {}
+            self._family_types = {}
 
 
 _REGISTRY = MetricsRegistry()
 
 
 def registry() -> MetricsRegistry:
-    """The process-global registry (always readable, even when disabled)."""
+    """The process-global registry (always readable, even when disabled).
+
+    Note this is deliberately *not* context-local: scrapers (``/metrics``,
+    exporters, ``profile``) read process-wide aggregates here.  The
+    recording helpers below are what route to a request's registry."""
     return _REGISTRY
 
 
-def counter(name: str) -> Counter | _NullInstrument:
+def _active_registry() -> MetricsRegistry:
+    """The request-scoped registry when a context is active, else global."""
+    ctx = reqctx.current()
+    if ctx is not None:
+        return ctx.registry
+    return _REGISTRY
+
+
+def counter(name: str, /, **labels: object) -> Counter | _NullInstrument:
     if not trace.is_enabled():
         return NULL_INSTRUMENT
-    return _REGISTRY.counter(name)
+    return _active_registry().counter(name, **labels)
 
 
-def gauge(name: str) -> Gauge | _NullInstrument:
+def gauge(name: str, /, **labels: object) -> Gauge | _NullInstrument:
     if not trace.is_enabled():
         return NULL_INSTRUMENT
-    return _REGISTRY.gauge(name)
+    return _active_registry().gauge(name, **labels)
 
 
-def histogram(name: str) -> Histogram | _NullInstrument:
+def histogram(name: str, /, **labels: object) -> Histogram | _NullInstrument:
     if not trace.is_enabled():
         return NULL_INSTRUMENT
-    return _REGISTRY.histogram(name)
+    return _active_registry().histogram(name, **labels)
 
 
 def publish_counters(prefix: str, counters) -> None:
@@ -228,12 +344,13 @@ def publish_counters(prefix: str, counters) -> None:
     """
     if not trace.is_enabled():
         return
+    target = _active_registry()
     mapping = counters.as_dict() if hasattr(counters, "as_dict") \
         else dict(counters)
     for key, value in mapping.items():
-        _REGISTRY.gauge(f"{prefix}.{key}").set(value)
+        target.gauge(f"{prefix}.{key}").set(value)
     if hasattr(counters, "total_ops"):
-        _REGISTRY.gauge(f"{prefix}.total_ops").set(counters.total_ops)
+        target.gauge(f"{prefix}.total_ops").set(counters.total_ops)
     if hasattr(counters, "memory_accesses"):
-        _REGISTRY.gauge(f"{prefix}.memory_accesses").set(
+        target.gauge(f"{prefix}.memory_accesses").set(
             counters.memory_accesses)

@@ -21,6 +21,9 @@ interface; attach them with ``bus.get_bus().add_sink(...)`` (the CLI's
 * :class:`MetricsServer` — a stdlib ``http.server`` thread serving the
   exposition at ``/metrics`` (``python -m repro metrics-serve``); the
   scrape endpoint the compile-service daemon on the roadmap will reuse.
+* :class:`JsonlAccessLog` — the serve daemon's structured request log:
+  one JSON object per request, flushed per line so ``repro tail
+  --follow`` and CI greps see entries the moment they land.
 """
 
 from __future__ import annotations
@@ -53,6 +56,14 @@ def span_record(span) -> dict:
         out["attrs"] = {key: _jsonable(value)
                         for key, value in span.attrs.items()}
     return out
+
+
+def span_tree(span) -> dict:
+    """A nested JSON-serializable record of a span and its descendants
+    (what ``GET /debug/trace/<request-id>`` returns)."""
+    record = span_record(span)
+    record["children"] = [span_tree(child) for child in span.children]
+    return record
 
 
 class JsonlEventSink(TelemetrySink):
@@ -91,6 +102,36 @@ class JsonlEventSink(TelemetrySink):
                 self._file = None
 
 
+class JsonlAccessLog:
+    """Append-only JSONL request log for the serve daemon.
+
+    Unlike :class:`JsonlEventSink` (buffered until flush), every record
+    is flushed as it is written: tailers (``repro tail --follow``) and
+    CI greps must see a request the moment it completes, and the daemon
+    may be killed without a clean shutdown.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._file = None
+
+    def write(self, record: dict) -> None:
+        line = json.dumps(record, sort_keys=True) + "\n"
+        with self._lock:
+            if self._file is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._file = self.path.open("a", encoding="utf-8")
+            self._file.write(line)
+            self._file.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+
+
 class ChromeTraceSink(TelemetrySink):
     """Writes the collected span forest as Chrome trace-event JSON at close."""
 
@@ -121,6 +162,37 @@ def _fmt(value: float) -> str:
     return repr(float(value))
 
 
+# OpenMetrics escaping: HELP text escapes backslash and newline; label
+# values additionally escape the double quote.
+_ESCAPE_HELP = str.maketrans({"\\": "\\\\", "\n": "\\n"})
+_ESCAPE_LABEL = str.maketrans({"\\": "\\\\", '"': '\\"', "\n": "\\n"})
+
+
+def _escape_help(text: str) -> str:
+    return text.translate(_ESCAPE_HELP)
+
+
+def _escape_label(value: object) -> str:
+    return str(value).translate(_ESCAPE_LABEL)
+
+
+def _labelset(labels, extra=()) -> str:
+    """``{k="v",...}`` with escaped values, or ``""`` when unlabeled."""
+    pairs = [*labels, *extra]
+    if not pairs:
+        return ""
+    inner = ",".join(f'{key}="{_escape_label(value)}"'
+                     for key, value in pairs)
+    return "{" + inner + "}"
+
+
+def _unit_of(family: str) -> str | None:
+    for unit in ("seconds", "bytes"):
+        if family.endswith("_" + unit):
+            return unit
+    return None
+
+
 def to_openmetrics(registry: "obs_metrics.MetricsRegistry | None" = None
                    ) -> str:
     """Render the metrics registry as OpenMetrics text exposition.
@@ -129,30 +201,46 @@ def to_openmetrics(registry: "obs_metrics.MetricsRegistry | None" = None
     families, histograms summary families (``quantile`` labels for
     p50/p90/p99 plus ``_count``/``_sum``).  Metric names are the
     registry's dotted names with ``repro_`` prefixed and every
-    non-``[a-zA-Z0-9_:]`` character mapped to ``_``.  The exposition is
-    terminated by the mandatory ``# EOF`` line.
+    non-``[a-zA-Z0-9_:]`` character mapped to ``_``.  Instruments
+    sharing a name but differing in labels render as one family with
+    one sample line per label set; label values and HELP text are
+    escaped per the OpenMetrics spec, and families measuring seconds or
+    bytes get a ``# UNIT`` line.  The exposition is terminated by the
+    mandatory ``# EOF`` line.
     """
     if registry is None:
         registry = obs_metrics.registry()
     lines: list[str] = []
-    for name, instrument in registry.instruments().items():
-        family = _metric_name(name)
+    seen: set[str] = set()
+    for instrument in registry.instruments().values():
+        family = _metric_name(instrument.name)
+        if family not in seen:
+            seen.add(family)
+            kind = {obs_metrics.Counter: "counter",
+                    obs_metrics.Gauge: "gauge",
+                    obs_metrics.Histogram: "summary"}[type(instrument)]
+            lines.append(f"# TYPE {family} {kind}")
+            unit = _unit_of(family)
+            if unit is not None:
+                lines.append(f"# UNIT {family} {unit}")
+            lines.append(
+                f"# HELP {family} {_escape_help(instrument.name)}")
+        labels = _labelset(instrument.labels)
         if isinstance(instrument, obs_metrics.Counter):
-            lines.append(f"# TYPE {family} counter")
-            lines.append(f"# HELP {family} {name}")
-            lines.append(f"{family}_total {_fmt(instrument.value)}")
+            lines.append(
+                f"{family}_total{labels} {_fmt(instrument.value)}")
         elif isinstance(instrument, obs_metrics.Gauge):
-            lines.append(f"# TYPE {family} gauge")
-            lines.append(f"# HELP {family} {name}")
-            lines.append(f"{family} {_fmt(instrument.value)}")
+            lines.append(f"{family}{labels} {_fmt(instrument.value)}")
         elif isinstance(instrument, obs_metrics.Histogram):
-            lines.append(f"# TYPE {family} summary")
-            lines.append(f"# HELP {family} {name}")
             for q in (0.5, 0.9, 0.99):
                 value = instrument.percentile(q * 100)
-                lines.append(f'{family}{{quantile="{q}"}} {_fmt(value)}')
-            lines.append(f"{family}_count {_fmt(instrument.count)}")
-            lines.append(f"{family}_sum {_fmt(instrument.total)}")
+                qlabels = _labelset(instrument.labels,
+                                    (("quantile", q),))
+                lines.append(f"{family}{qlabels} {_fmt(value)}")
+            lines.append(
+                f"{family}_count{labels} {_fmt(instrument.count)}")
+            lines.append(
+                f"{family}_sum{labels} {_fmt(instrument.total)}")
     lines.append("# EOF")
     return "\n".join(lines) + "\n"
 

@@ -22,6 +22,13 @@ spans opened on a thread with no enclosing span become additional roots.
 Exporters for the collected tree live in :mod:`repro.obs.export`; closed
 spans are additionally forwarded to the telemetry bus
 (:mod:`repro.obs.bus`) whenever a sink is attached.
+
+Tracing is also **context-local**: while a
+:class:`repro.obs.reqctx.RequestContext` is active (the serve daemon
+activates one per HTTP request), :func:`span` and friends route to that
+request's private :class:`Tracer` — whose every span is stamped with the
+request/trace ids — instead of the ambient process-global one.  With no
+context active, behaviour is exactly as before.
 """
 
 from __future__ import annotations
@@ -31,6 +38,8 @@ import functools
 import os
 import threading
 import time
+
+from repro.obs import reqctx
 
 
 class Span:
@@ -111,11 +120,17 @@ NULL_SPAN = _NullSpan()
 
 
 class Tracer:
-    """Collects a forest of spans; thread-safe."""
+    """Collects a forest of spans; thread-safe.
 
-    def __init__(self):
+    ``stamp`` attributes (if given) are merged into every span opened on
+    this tracer — request-scoped tracers use it to mark each span with
+    the owning request/trace ids.
+    """
+
+    def __init__(self, stamp: dict | None = None):
         self._local = threading.local()
         self._lock = threading.Lock()
+        self.stamp = dict(stamp) if stamp else None
         self.roots: list[Span] = []
 
     def _stack(self) -> list[Span]:
@@ -126,6 +141,8 @@ class Tracer:
 
     def span(self, name: str, /, **attrs: object) -> Span:
         """A new span; it attaches to the tree when entered."""
+        if self.stamp:
+            attrs = {**self.stamp, **attrs}
         return Span(name, attrs, self)
 
     def _push(self, span: Span) -> None:
@@ -211,13 +228,21 @@ def reset() -> None:
     _reset_all()
 
 
-def get_tracer() -> Tracer:
+def _active_tracer() -> Tracer:
+    """The request-scoped tracer when a context is active, else ambient."""
+    ctx = reqctx.current()
+    if ctx is not None:
+        return ctx.tracer
     return _TRACER
+
+
+def get_tracer() -> Tracer:
+    return _active_tracer()
 
 
 def get_trace() -> list[Span]:
     """The collected root spans (a forest, usually a single tree)."""
-    return list(_TRACER.roots)
+    return list(_active_tracer().roots)
 
 
 def span(name: str, /, **attrs: object) -> Span | _NullSpan:
@@ -228,14 +253,14 @@ def span(name: str, /, **attrs: object) -> Span | _NullSpan:
     """
     if not _enabled:
         return NULL_SPAN
-    return _TRACER.span(name, **attrs)
+    return _active_tracer().span(name, **attrs)
 
 
 def current_span() -> Span | _NullSpan:
     """The innermost open span on this thread (no-op span if none)."""
     if not _enabled:
         return NULL_SPAN
-    return _TRACER.current() or NULL_SPAN
+    return _active_tracer().current() or NULL_SPAN
 
 
 def traced(name=None, **attrs):
@@ -254,7 +279,7 @@ def traced(name=None, **attrs):
         def wrapper(*args, **kwargs):
             if not _enabled:
                 return fn(*args, **kwargs)
-            with _TRACER.span(label, **attrs):
+            with _active_tracer().span(label, **attrs):
                 return fn(*args, **kwargs)
 
         return wrapper

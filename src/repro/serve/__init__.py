@@ -7,9 +7,11 @@ with single-flight compilation dedup and per-request admission control;
 stdlib-only client used by the tests, the benchmark and CI.
 """
 
-from repro.serve.client import ServeClient, UnixHTTPConnection
-from repro.serve.daemon import (ApiError, DEFAULT_MAX_ITERATIONS,
+from repro.serve.client import ServeClient, ServeResponse, UnixHTTPConnection
+from repro.serve.daemon import (ACCESS_LOG_ENV, ApiError,
+                                DEFAULT_ACCESS_LOG, DEFAULT_MAX_ITERATIONS,
                                 DEFAULT_PORT, ServeServer)
 
-__all__ = ["ApiError", "DEFAULT_MAX_ITERATIONS", "DEFAULT_PORT",
-           "ServeClient", "ServeServer", "UnixHTTPConnection"]
+__all__ = ["ACCESS_LOG_ENV", "ApiError", "DEFAULT_ACCESS_LOG",
+           "DEFAULT_MAX_ITERATIONS", "DEFAULT_PORT", "ServeClient",
+           "ServeResponse", "ServeServer", "UnixHTTPConnection"]

@@ -4,6 +4,13 @@ Used by the test suite, ``benchmarks/bench_serve.py`` and the CI smoke
 job; third parties can talk plain HTTP with anything (the Unix-socket
 transport is ordinary HTTP/1.1 over an ``AF_UNIX`` stream, the same
 framing ``curl --unix-socket`` speaks).
+
+Every request carries a W3C ``traceparent`` header — a caller-supplied
+one (to join an existing trace) or a freshly minted one — so the daemon
+continues the client's trace rather than starting its own.  The
+response's ``X-Request-Id`` is surfaced as
+:attr:`ServeResponse.request_id`, the key for ``GET
+/debug/trace/<request-id>``.
 """
 
 from __future__ import annotations
@@ -13,6 +20,8 @@ import json
 import socket
 import time
 from pathlib import Path
+
+from repro.obs import reqctx
 
 
 class UnixHTTPConnection(http.client.HTTPConnection):
@@ -32,12 +41,18 @@ class UnixHTTPConnection(http.client.HTTPConnection):
 
 
 class ServeResponse:
-    """One decoded response: status code plus parsed body."""
+    """One decoded response: status code, parsed body, trace identity."""
 
-    def __init__(self, status: int, content_type: str, raw: bytes):
+    def __init__(self, status: int, content_type: str, raw: bytes,
+                 headers: dict | None = None,
+                 traceparent: str | None = None):
         self.status = status
         self.content_type = content_type
         self.raw = raw
+        self.headers = {key.lower(): value
+                        for key, value in (headers or {}).items()}
+        #: The ``traceparent`` the request was sent with.
+        self.traceparent = traceparent
 
     @property
     def json(self) -> dict:
@@ -50,6 +65,11 @@ class ServeResponse:
     @property
     def ok(self) -> bool:
         return 200 <= self.status < 300
+
+    @property
+    def request_id(self) -> str | None:
+        """The daemon-assigned id (``X-Request-Id`` response header)."""
+        return self.headers.get("x-request-id")
 
 
 class ServeClient:
@@ -73,9 +93,12 @@ class ServeClient:
                                           timeout=self.timeout)
 
     def request(self, method: str, path: str,
-                payload: dict | None = None) -> ServeResponse:
+                payload: dict | None = None, *,
+                traceparent: str | None = None) -> ServeResponse:
         body = None
-        headers = {}
+        if traceparent is None:
+            traceparent = reqctx.make_traceparent()
+        headers = {"traceparent": traceparent}
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -85,7 +108,9 @@ class ServeClient:
             response = connection.getresponse()
             return ServeResponse(response.status,
                                  response.getheader("Content-Type", ""),
-                                 response.read())
+                                 response.read(),
+                                 headers=dict(response.getheaders()),
+                                 traceparent=traceparent)
         finally:
             connection.close()
 
@@ -100,11 +125,21 @@ class ServeClient:
     def cache_stats(self) -> dict:
         return self.request("GET", "/cache/stats").json
 
-    def compile(self, **fields) -> ServeResponse:
-        return self.request("POST", "/compile", fields)
+    def debug_requests(self) -> list[dict]:
+        return self.request("GET", "/debug/requests").json["requests"]
 
-    def run(self, **fields) -> ServeResponse:
-        return self.request("POST", "/run", fields)
+    def debug_trace(self, request_id: str) -> ServeResponse:
+        return self.request("GET", f"/debug/trace/{request_id}")
+
+    def compile(self, *, traceparent: str | None = None,
+                **fields) -> ServeResponse:
+        return self.request("POST", "/compile", fields,
+                            traceparent=traceparent)
+
+    def run(self, *, traceparent: str | None = None,
+            **fields) -> ServeResponse:
+        return self.request("POST", "/run", fields,
+                            traceparent=traceparent)
 
     def wait_ready(self, timeout: float = 10.0) -> bool:
         """Poll ``/healthz`` until the daemon answers (or timeout)."""

@@ -14,11 +14,29 @@ persistent artifact cache (:mod:`repro.cache`):
   checksum, output count and timing.  Appends a ``serve`` record to the
   run ledger.
 * ``GET /metrics`` — the PR 6 OpenMetrics exposition (cache hit/miss/
-  evict counters included); ``GET /healthz``; ``GET /cache/stats``.
+  evict counters included, plus the labeled
+  ``repro_serve_request_seconds{route,status,backend}`` histogram and
+  ``repro_serve_inflight{route}`` gauge); ``GET /healthz`` (uptime,
+  in-flight count, cache entries/bytes, ledger reachability);
+  ``GET /cache/stats``.
+* ``GET /debug/requests`` — the flight recorder: the last N completed
+  requests, each with its access record and span tree;
+  ``GET /debug/trace/<request-id>`` — one request's record + span tree.
+
+Every request runs under its own
+:class:`repro.obs.reqctx.RequestContext`: spans, metric deltas and bus
+events are recorded into request-private structures (merged into the
+process-wide aggregates at completion) and stamped with a per-request
+id.  A valid W3C ``traceparent`` header is honoured — its trace id
+flows through every span, event, cache hit/miss, ledger record and the
+access log, and the response carries ``X-Request-Id`` plus the outgoing
+``traceparent``.  When an access log is configured, each request
+appends one flushed JSONL record (see ``repro tail``).
 
 Concurrent compilations of the *same* cache key are deduplicated: one
 request builds, the rest wait and read the published entry
-(``serve.inflight.coalesced`` counts the waiters).  Distinct keys build
+(``serve.inflight.coalesced`` counts the waiters, and each waiter's
+request is marked ``dedup`` in the access log).  Distinct keys build
 concurrently.
 
 Admission control: the server's default :class:`ResourceLimits` (from
@@ -41,6 +59,7 @@ from __future__ import annotations
 import collections
 import hashlib
 import json
+import os
 import socketserver
 import threading
 import time
@@ -57,17 +76,42 @@ from repro.lir import LoweringOptions
 from repro.obs import bus as obs_bus
 from repro.obs import ledger as obs_ledger
 from repro.obs import metrics as obs_metrics
+from repro.obs import reqctx
 from repro.obs import trace as obs_trace
-from repro.obs.sinks import OPENMETRICS_CONTENT_TYPE, to_openmetrics
+from repro.obs.sinks import (JsonlAccessLog, OPENMETRICS_CONTENT_TYPE,
+                             span_tree, to_openmetrics)
 from repro.opt import OptOptions
 from repro.suite import BENCHMARKS, load_benchmark
 
 DEFAULT_PORT = 9465
 DEFAULT_MAX_ITERATIONS = 1_000_000
 
+# Where ``python -m repro serve`` writes its access log unless told
+# otherwise (library users pass ``access_log=`` explicitly).
+DEFAULT_ACCESS_LOG = Path(".repro") / "serve-access.jsonl"
+ACCESS_LOG_ENV = "REPRO_ACCESS_LOG"
+
+# How many completed requests the in-memory flight recorder keeps
+# (records + span trees, served by GET /debug/requests).
+FLIGHT_RECORDER_SIZE = 128
+
 # How many frontend-compiled streams to keep in memory, keyed by source
 # hash: the hot path then touches neither the parser nor the scheduler.
 STREAM_MEMO_SIZE = 128
+
+_KNOWN_ROUTES = ("/healthz", "/metrics", "/cache/stats", "/compile",
+                 "/run", "/debug/requests", "/debug/trace")
+
+
+def _route_label(path: str) -> str:
+    """A bounded-cardinality route label for one request path."""
+    if path == "/":
+        return "/healthz"
+    if path.startswith("/debug/trace/"):
+        return "/debug/trace"
+    if path in _KNOWN_ROUTES:
+        return path
+    return "other"
 
 
 class ApiError(Exception):
@@ -97,12 +141,21 @@ class ServeServer:
                  cache: ArtifactCache | None = None,
                  limits: ResourceLimits | None = None,
                  max_iterations: int = DEFAULT_MAX_ITERATIONS,
-                 ledger: bool = True):
+                 ledger: bool = True,
+                 access_log: "str | Path | None" = None,
+                 flight_recorder: int = FLIGHT_RECORDER_SIZE):
         self.cache = cache if cache is not None else ArtifactCache()
         self.limits = limits
         self.max_iterations = max_iterations
         self.ledger = ledger
         self.started_at = time.time()
+        self.access_log = JsonlAccessLog(access_log) \
+            if access_log else None
+        self._recorder: "collections.deque[dict]" = \
+            collections.deque(maxlen=max(1, flight_recorder))
+        self._recorder_lock = threading.Lock()
+        self._inflight_routes: dict[str, int] = {}
+        self._inflight_routes_lock = threading.Lock()
         self._streams: "collections.OrderedDict[str, CompiledStream]" = \
             collections.OrderedDict()
         self._streams_lock = threading.Lock()
@@ -166,24 +219,65 @@ class ServeServer:
                 pass
         if not self._trace_was_enabled:
             obs_trace.disable()
+        if self.access_log is not None:
+            self.access_log.close()
 
     # -- request plumbing -----------------------------------------------------
 
-    def handle(self, method: str, path: str,
-               body: bytes) -> tuple[int, str, bytes]:
-        """Dispatch one request; returns (status, content-type, body)."""
+    def handle(self, method: str, path: str, body: bytes,
+               headers: dict | None = None
+               ) -> tuple[int, str, bytes, dict]:
+        """Serve one request under its own :class:`RequestContext`.
+
+        Returns ``(status, content-type, body, extra response headers)``
+        — the extra headers carry ``X-Request-Id`` and the outgoing
+        ``traceparent``.  On completion the request's metric deltas
+        merge into the global registry, the labeled latency histogram
+        observes the request, and the access record lands in the flight
+        recorder (and the access log, if configured).
+        """
+        wall = time.time()
+        started = time.monotonic()
+        lowered = {key.lower(): value
+                   for key, value in (headers or {}).items()}
+        traceparent = lowered.get("traceparent")
+        ctx = reqctx.RequestContext(traceparent=traceparent)
+        route = _route_label(path)
+        self._inflight_add(route, 1)
+        try:
+            with reqctx.activate(ctx):
+                with obs_trace.span("serve.request", method=method,
+                                    route=route) as root:
+                    status, content_type, payload = \
+                        self._dispatch_request(method, path, body)
+                    root.annotate(status=status)
+        finally:
+            self._inflight_add(route, -1)
+        duration = time.monotonic() - started
+        self._finish_request(ctx, wall=wall, method=method, path=path,
+                             route=route, status=status,
+                             duration=duration, bytes_out=len(payload))
+        extra = {"X-Request-Id": ctx.request_id,
+                 "Traceparent": ctx.traceparent}
+        return status, content_type, payload, extra
+
+    def _dispatch_request(self, method: str, path: str,
+                          body: bytes) -> tuple[int, str, bytes]:
+        """Route one request to its endpoint; never raises."""
         obs_metrics.counter("serve.requests").inc()
         try:
             if method == "GET" and path in ("/healthz", "/"):
-                return self._json(200, {
-                    "status": "ok",
-                    "uptime_seconds": time.time() - self.started_at,
-                    "cache_root": str(self.cache.root)})
+                return self._json(200, self._healthz())
             if method == "GET" and path == "/metrics":
                 text = to_openmetrics().encode("utf-8")
                 return 200, OPENMETRICS_CONTENT_TYPE, text
             if method == "GET" and path == "/cache/stats":
                 return self._json(200, self.cache.stats())
+            if method == "GET" and path == "/debug/requests":
+                return self._json(200, {"requests": self._recent()})
+            if method == "GET" and path.startswith("/debug/trace/"):
+                needle = path[len("/debug/trace/"):]
+                return self._json(200, self._trace_of(needle))
             if method == "POST" and path == "/compile":
                 return self._json(200, self._compile(_parse_body(body)))
             if method == "POST" and path == "/run":
@@ -211,6 +305,103 @@ class ServeServer:
                 ApiError(500, "internal", 1,
                          f"{type(error).__name__}: {error}"))
 
+    def _inflight_add(self, route: str, delta: int) -> None:
+        # The gauge lives directly on the global registry: in-flight
+        # counts are a process-wide fact, not a per-request delta.
+        with self._inflight_routes_lock:
+            value = max(0, self._inflight_routes.get(route, 0) + delta)
+            self._inflight_routes[route] = value
+        obs_metrics.registry().gauge("serve.inflight",
+                                     route=route).set(value)
+
+    def inflight(self) -> int:
+        """Requests currently being handled (all routes)."""
+        with self._inflight_routes_lock:
+            return sum(self._inflight_routes.values())
+
+    def _finish_request(self, ctx: reqctx.RequestContext, *, wall: float,
+                        method: str, path: str, route: str, status: int,
+                        duration: float, bytes_out: int) -> None:
+        ctx.registry.merge_into(obs_metrics.registry())
+        info = ctx.info
+        backend = str(info.get("backend", "-"))
+        obs_metrics.registry().histogram(
+            "serve.request.seconds", route=route, status=str(status),
+            backend=backend).observe(duration)
+        record = {
+            "type": "access",
+            "wall_time": wall,
+            "request_id": ctx.request_id,
+            "trace_id": ctx.trace_id,
+            "traceparent": ctx.traceparent,
+            "traceparent_in": ctx.traceparent_in,
+            "method": method,
+            "path": path,
+            "route": route,
+            "status": status,
+            "backend": backend,
+            "cache_hit": info.get("cache_hit"),
+            "dedup": bool(info.get("dedup", False)),
+            "degraded": bool(info.get("degraded", False)),
+            "run_route": info.get("run_route"),
+            "stream": info.get("stream"),
+            "duration_ms": duration * 1e3,
+            "bytes_out": bytes_out,
+        }
+        spans = [span_tree(root) for root in ctx.tracer.roots]
+        with self._recorder_lock:
+            self._recorder.append({"record": record, "spans": spans})
+        if self.access_log is not None:
+            try:
+                self.access_log.write(record)
+            except OSError:
+                pass  # a full disk must not fail the request
+        # Emitted after the context closes, so stamp the ids explicitly.
+        obs_bus.emit_event("serve.request", request_id=ctx.request_id,
+                           trace_id=ctx.trace_id, route=route,
+                           status=status, backend=backend,
+                           duration_ms=record["duration_ms"])
+
+    # -- introspection endpoints ----------------------------------------------
+
+    def _healthz(self) -> dict:
+        entries, cache_bytes = self.cache.size()
+        ledger_path = obs_ledger.ledger_dir()
+        return {
+            "status": "ok",
+            "uptime_seconds": time.time() - self.started_at,
+            "inflight": self.inflight(),
+            "requests_total":
+                obs_metrics.registry().counter("serve.requests").value,
+            "cache_root": str(self.cache.root),
+            "cache": {"entries": entries, "bytes": cache_bytes},
+            "ledger": {"enabled": self.ledger, "dir": str(ledger_path),
+                       "reachable": _ledger_reachable(ledger_path)},
+        }
+
+    def _recent(self) -> list[dict]:
+        """Flight-recorder contents, most recent request first."""
+        with self._recorder_lock:
+            entries = list(self._recorder)
+        entries.reverse()
+        return entries
+
+    def _trace_of(self, needle: str) -> dict:
+        """One recorded request by request-id (prefix) or trace-id."""
+        if not needle:
+            raise _usage("empty request id")
+        with self._recorder_lock:
+            entries = list(self._recorder)
+        for entry in reversed(entries):
+            record = entry["record"]
+            if record["request_id"].startswith(needle) \
+                    or record["trace_id"] == needle:
+                return entry
+        raise ApiError(404, "usage", 2,
+                       f"no recorded request matches {needle!r} "
+                       f"(the flight recorder keeps the last "
+                       f"{self._recorder.maxlen})")
+
     def _json(self, status: int, payload: dict) -> tuple[int, str, bytes]:
         body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
         return status, "application/json", body
@@ -230,6 +421,8 @@ class ServeServer:
         with self._admission(parsed):
             stream, stream_cached = self._stream(parsed)
             entry, hit, key = self._ensure_entry(stream, parsed)
+        reqctx.note(backend=parsed["backend"], cache_hit=hit,
+                    stream=stream.name)
         return {
             "key": key,
             "cache_hit": hit,
@@ -289,6 +482,9 @@ class ServeServer:
                       backend=parsed["backend"],
                       wall_seconds=time.monotonic() - started)
         obs_metrics.counter(f"serve.run.{result['route']}").inc()
+        reqctx.note(backend=parsed["backend"], cache_hit=hit,
+                    degraded=degraded, run_route=result["route"],
+                    stream=stream.name)
         self._ledger_note(stream, parsed, result)
         return result
 
@@ -389,6 +585,8 @@ class ServeServer:
                     self._inflight[key] = event
                     break
             obs_metrics.counter("serve.inflight.coalesced").inc()
+            reqctx.note(dedup=True)
+            obs_bus.emit_event("serve.dedup", key=key)
             event.wait()
             entry = self.cache.lookup(key)
             if entry is not None:
@@ -410,6 +608,7 @@ class ServeServer:
         """Best-effort ledger record for one served run."""
         if not self.ledger:
             return
+        ctx = reqctx.current()
         body = obs_ledger.make_body(
             "serve", stream.name, spec_hash=stream.source_hash,
             backend=parsed["backend"] if result["route"] == "native"
@@ -421,7 +620,9 @@ class ServeServer:
                    "degraded": result["degraded"]},
             checksum=result["checksum"], seconds=result["seconds"],
             metrics={"outputs": result["outputs"],
-                     "wall_seconds": result["wall_seconds"]})
+                     "wall_seconds": result["wall_seconds"]},
+            request_id=ctx.request_id if ctx else None,
+            trace_id=ctx.trace_id if ctx else None)
         try:
             envelope = obs_ledger.append(body)
         except OSError:
@@ -430,6 +631,19 @@ class ServeServer:
                            record_id=envelope["record_id"],
                            seq=envelope["seq"], kind="serve",
                            target=stream.name)
+
+
+def _ledger_reachable(path: Path) -> bool:
+    """Whether a ledger append would plausibly succeed: the directory
+    (or its nearest existing ancestor) is writable.  No side effects —
+    this runs on every ``/healthz`` probe."""
+    probe = path
+    while not probe.exists():
+        parent = probe.parent
+        if parent == probe:
+            break
+        probe = parent
+    return os.access(probe, os.W_OK | os.X_OK)
 
 
 def _parse_body(body: bytes) -> dict:
@@ -450,11 +664,13 @@ class _Handler(BaseHTTPRequestHandler):
         length = int(self.headers.get("Content-Length") or 0)
         body = self.rfile.read(length) if length else b""
         path = self.path.split("?", 1)[0]
-        status, content_type, payload = self.server.owner.handle(
-            method, path, body)
+        status, content_type, payload, extra = self.server.owner.handle(
+            method, path, body, dict(self.headers))
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(payload)))
+        for name, value in extra.items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(payload)
 
@@ -465,16 +681,21 @@ class _Handler(BaseHTTPRequestHandler):
         self._dispatch("POST")
 
     def log_message(self, format, *args):  # noqa: A002 - http.server API
-        pass  # requests are routine; the bus carries the interesting ones
+        pass  # the structured access log replaces stderr chatter
 
 
 class _TcpServer(ThreadingHTTPServer):
     daemon_threads = True
+    # The socketserver default backlog (5) drops simultaneous connects
+    # under concurrent load; AF_UNIX surfaces that as EAGAIN rather
+    # than retrying like TCP does.
+    request_queue_size = 128
     owner: ServeServer
 
 
 class _UnixServer(socketserver.ThreadingUnixStreamServer):
     daemon_threads = True
+    request_queue_size = 128
     owner: ServeServer
 
     def get_request(self):

@@ -472,3 +472,100 @@ class TestMetricsServe:
         assert proc.returncode == 0
         assert "repro_obs_up 1" in proc.stdout
         assert proc.stdout.rstrip().endswith("# EOF")
+
+
+class TestTail:
+    @staticmethod
+    def _write(path, *records):
+        with path.open("a", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record) + "\n")
+
+    @staticmethod
+    def _access(**overrides):
+        record = {"type": "access", "wall_time": 1700000000.25,
+                  "request_id": "deadbeefcafe0001", "method": "POST",
+                  "path": "/run", "route": "/run", "status": 200,
+                  "backend": "laminar-c", "cache_hit": True,
+                  "dedup": False, "degraded": False,
+                  "run_route": "interp", "stream": "CountingTail",
+                  "duration_ms": 12.5, "bytes_out": 128}
+        record.update(overrides)
+        return record
+
+    def test_renders_access_records(self, tmp_path, capsys):
+        log = tmp_path / "access.jsonl"
+        self._write(log, self._access(),
+                    self._access(request_id="deadbeefcafe0002",
+                                 route="/metrics", method="GET",
+                                 cache_hit=None, run_route=None,
+                                 stream=None, duration_ms=1.0))
+        assert main(["tail", str(log)]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert len(lines) == 2
+        assert "deadbeefcafe0001" in lines[0]
+        assert "POST" in lines[0]
+        assert "/run" in lines[0]
+        assert "200" in lines[0]
+        assert "12.5ms" in lines[0]
+        assert "hit" in lines[0]
+        assert "interp" in lines[0]
+        assert "CountingTail" in lines[0]
+        assert "/metrics" in lines[1]
+
+    def test_route_and_min_ms_filters(self, tmp_path, capsys):
+        log = tmp_path / "access.jsonl"
+        self._write(log,
+                    self._access(request_id="a" * 16, duration_ms=5.0),
+                    self._access(request_id="b" * 16, duration_ms=80.0),
+                    self._access(request_id="c" * 16, route="/healthz",
+                                 method="GET", duration_ms=500.0))
+        assert main(["tail", str(log), "--route", "/run",
+                     "--min-ms", "50"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert len(lines) == 1
+        assert "b" * 16 in lines[0]
+
+    def test_skips_garbage_and_reads_event_logs(self, tmp_path, capsys):
+        log = tmp_path / "events.jsonl"
+        with log.open("w", encoding="utf-8") as handle:
+            handle.write("not json at all\n")
+            handle.write(json.dumps({"type": "metrics",
+                                     "metrics": {}}) + "\n")
+            handle.write(json.dumps({
+                "type": "event", "name": "serve.request",
+                "wall_time": 1700000000.0,
+                "attrs": {"request_id": "feedface00000001",
+                          "route": "/run", "status": 200,
+                          "backend": "laminar-c",
+                          "duration_ms": 3.25}}) + "\n")
+        assert main(["tail", str(log)]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert len(lines) == 1
+        assert "feedface00000001" in lines[0]
+        assert "/run" in lines[0]
+        assert "3.2ms" in lines[0] or "3.3ms" in lines[0]
+
+    def test_slow_requests_colored_when_forced(self, tmp_path, capsys):
+        log = tmp_path / "access.jsonl"
+        self._write(log, self._access(duration_ms=900.0),
+                    self._access(request_id="deadbeefcafe0002",
+                                 duration_ms=2.0))
+        assert main(["tail", str(log), "--color", "always",
+                     "--slow-ms", "500"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines[0].startswith("\x1b[31m")
+        assert lines[0].endswith("\x1b[0m")
+        assert not lines[1].startswith("\x1b[")
+
+    def test_no_matching_records_notice(self, tmp_path, capsys):
+        log = tmp_path / "access.jsonl"
+        self._write(log, self._access(duration_ms=1.0))
+        assert main(["tail", str(log), "--min-ms", "1000"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "no matching records" in captured.err
+
+    def test_missing_log_is_usage_error(self, tmp_path, capsys):
+        assert main(["tail", str(tmp_path / "nope.jsonl")]) == 2
+        assert "no such log" in capsys.readouterr().err

@@ -7,7 +7,7 @@ import urllib.request
 import pytest
 
 from repro import compile_source
-from repro.obs import bus, export, metrics, sinks, trace
+from repro.obs import bus, export, metrics, reqctx, sinks, trace
 from tests.conftest import TINY_PROGRAM
 
 
@@ -568,3 +568,246 @@ class TestOpenMetrics:
                 urllib.request.urlopen(missing, timeout=5)
         finally:
             server.stop()
+
+
+class TestLabeledMetrics:
+    def test_distinct_label_sets_are_distinct_instruments(self):
+        registry = metrics.MetricsRegistry()
+        run = registry.counter("serve.requests", route="/run")
+        scrape = registry.counter("serve.requests", route="/metrics")
+        bare = registry.counter("serve.requests")
+        run.inc(2)
+        scrape.inc(3)
+        bare.inc(5)
+        assert run is not scrape and run is not bare
+        assert registry.counter("serve.requests", route="/run").value == 2
+        assert registry.counter("serve.requests").value == 5
+
+    def test_label_order_is_canonical(self):
+        registry = metrics.MetricsRegistry()
+        assert registry.gauge("g", a="1", b="2") \
+            is registry.gauge("g", b="2", a="1")
+
+    def test_family_type_is_enforced_across_label_sets(self):
+        registry = metrics.MetricsRegistry()
+        registry.counter("mixed", route="/run")
+        with pytest.raises(TypeError):
+            registry.gauge("mixed", route="/metrics")
+        with pytest.raises(TypeError):
+            registry.histogram("mixed")
+
+    def test_as_dict_uses_display_names(self):
+        registry = metrics.MetricsRegistry()
+        registry.counter("hits", status="200", route="/run").inc(4)
+        assert registry.as_dict() == \
+            {'hits{route="/run",status="200"}': 4}
+        assert registry.names() == ['hits{route="/run",status="200"}']
+
+    def test_gauge_add(self):
+        gauge = metrics.Gauge("g")
+        gauge.set(3)
+        gauge.add(2)
+        gauge.add(-1)
+        assert gauge.value == 4
+
+    def test_histogram_merge_is_exact_on_moments(self):
+        left = metrics.Histogram("h")
+        right = metrics.Histogram("h")
+        for value in (1.0, 2.0, 3.0):
+            left.observe(value)
+        for value in (10.0, 0.5):
+            right.observe(value)
+        left.merge(right)
+        assert left.count == 5
+        assert left.total == 16.5
+        assert left.min == 0.5
+        assert left.max == 10.0
+        assert left.percentile(99) == 10.0
+
+    def test_merge_into_semantics(self):
+        source = metrics.MetricsRegistry()
+        target = metrics.MetricsRegistry()
+        target.counter("c", route="/run").inc(10)
+        target.gauge("g").set(1)
+        target.histogram("h").observe(1.0)
+        source.counter("c", route="/run").inc(2)
+        source.counter("untouched")  # zero: must not land in target
+        source.gauge("g").set(7)
+        source.histogram("h").observe(3.0)
+        source.merge_into(target)
+        assert target.counter("c", route="/run").value == 12
+        assert target.gauge("g").value == 7
+        assert target.histogram("h").count == 2
+        assert target.histogram("h").total == 4.0
+        assert "untouched" not in target.names()
+
+    def test_helpers_route_to_active_context(self):
+        trace.enable()
+        ctx = reqctx.RequestContext()
+        metrics.counter("ambient.hits").inc()
+        with reqctx.activate(ctx):
+            metrics.counter("ctx.hits").inc(3)
+            metrics.gauge("ctx.depth").set(2)
+        assert "ctx.hits" not in metrics.registry().names()
+        assert ctx.registry.counter("ctx.hits").value == 3
+        assert ctx.registry.gauge("ctx.depth").value == 2
+        assert metrics.registry().counter("ambient.hits").value == 1
+        assert "ambient.hits" not in ctx.registry.names()
+
+
+class TestTraceparent:
+    def test_parse_valid_header(self):
+        header = "00-" + "ab" * 16 + "-" + "cd" * 8 + "-01"
+        assert reqctx.parse_traceparent(header) == \
+            ("ab" * 16, "cd" * 8, "01")
+
+    @pytest.mark.parametrize("bad", [
+        None,
+        42,
+        "",
+        "banana",
+        "00-" + "AB" * 16 + "-" + "cd" * 8 + "-01",   # uppercase hex
+        "ff-" + "ab" * 16 + "-" + "cd" * 8 + "-01",   # reserved version
+        "00-" + "0" * 32 + "-" + "cd" * 8 + "-01",    # all-zero trace id
+        "00-" + "ab" * 16 + "-" + "0" * 16 + "-01",   # all-zero parent
+        "00-" + "ab" * 16 + "-01",                    # missing segment
+        "00-" + "ab" * 16 + "-" + "cd" * 8 + "-01-extra",
+    ])
+    def test_parse_rejects_garbage(self, bad):
+        assert reqctx.parse_traceparent(bad) is None
+
+    def test_make_round_trips(self):
+        parsed = reqctx.parse_traceparent(reqctx.make_traceparent())
+        assert parsed is not None
+        trace_id, span_id, flags = parsed
+        assert len(trace_id) == 32 and len(span_id) == 16
+        assert flags == "01"
+
+    def test_make_honours_given_ids(self):
+        header = reqctx.make_traceparent("ab" * 16, "cd" * 8)
+        assert header == "00-" + "ab" * 16 + "-" + "cd" * 8 + "-01"
+
+
+class TestRequestContext:
+    def test_continues_an_incoming_trace(self):
+        header = "00-" + "ab" * 16 + "-" + "cd" * 8 + "-01"
+        ctx = reqctx.RequestContext(traceparent=header)
+        assert ctx.trace_id == "ab" * 16
+        assert ctx.parent_id == "cd" * 8
+        assert ctx.traceparent_in == header
+        # The outgoing header continues the trace with the request id
+        # as the new parent.
+        assert reqctx.parse_traceparent(ctx.traceparent) == \
+            (ctx.trace_id, ctx.request_id, "01")
+
+    def test_mints_fresh_ids_on_invalid_header(self):
+        ctx = reqctx.RequestContext(traceparent="not-a-traceparent")
+        assert ctx.traceparent_in is None
+        assert ctx.parent_id is None
+        assert len(ctx.trace_id) == 32
+        assert reqctx.parse_traceparent(ctx.traceparent) is not None
+
+    def test_spans_route_to_context_and_carry_stamp(self):
+        trace.enable()
+        ctx = reqctx.RequestContext()
+        with reqctx.activate(ctx):
+            with trace.span("inside", extra=1):
+                pass
+        with trace.span("outside"):
+            pass
+        assert [span.name for span in ctx.tracer.roots] == ["inside"]
+        inside = ctx.tracer.roots[0]
+        assert inside.attrs["request_id"] == ctx.request_id
+        assert inside.attrs["trace_id"] == ctx.trace_id
+        assert inside.attrs["extra"] == 1
+        # The ambient tracer saw only the span opened outside.
+        assert [span.name for span in trace.get_trace()] == ["outside"]
+        assert "request_id" not in trace.get_trace()[0].attrs
+
+    def test_bus_events_stamped_and_collected(self):
+        ctx = reqctx.RequestContext()
+        with reqctx.activate(ctx):
+            bus.emit_event("ctx.fact", foo=1)
+        assert len(ctx.events) == 1
+        event = ctx.events[0]
+        assert event.attrs == {"foo": 1,
+                               "request_id": ctx.request_id,
+                               "trace_id": ctx.trace_id}
+        # Still visible on the global ring too.
+        assert bus.get_bus().recent_events("ctx.fact")
+
+    def test_events_outside_context_are_unstamped(self):
+        event = bus.emit_event("ambient.fact")
+        assert "request_id" not in event.attrs
+
+    def test_note_updates_active_context_only(self):
+        ctx = reqctx.RequestContext()
+        reqctx.note(orphan=True)  # no active context: a no-op
+        with reqctx.activate(ctx):
+            reqctx.note(backend="laminar-c")
+            reqctx.note(cache_hit=True)
+        assert ctx.info == {"backend": "laminar-c", "cache_hit": True}
+        assert reqctx.current() is None
+
+    def test_activation_nests_and_restores(self):
+        outer = reqctx.RequestContext()
+        inner = reqctx.RequestContext()
+        with reqctx.activate(outer):
+            assert reqctx.current() is outer
+            with reqctx.activate(inner):
+                assert reqctx.current() is inner
+            assert reqctx.current() is outer
+        assert reqctx.current() is None
+
+
+class TestOpenMetricsLabels:
+    def test_label_pairs_rendered_sorted(self):
+        registry = metrics.MetricsRegistry()
+        registry.counter("serve.requests", status="200",
+                         route="/run").inc(7)
+        text = sinks.to_openmetrics(registry)
+        assert ('repro_serve_requests_total'
+                '{route="/run",status="200"} 7') in text
+
+    def test_label_values_escaped(self):
+        registry = metrics.MetricsRegistry()
+        registry.gauge("weird", path='a\\b"c\nd').set(1)
+        text = sinks.to_openmetrics(registry)
+        assert 'path="a\\\\b\\"c\\nd"' in text
+
+    def test_help_text_escaped(self):
+        registry = metrics.MetricsRegistry()
+        registry.counter("odd\nname").inc()
+        text = sinks.to_openmetrics(registry)
+        assert "# HELP repro_odd_name odd\\nname" in text
+        assert "\nodd" not in text  # the newline never leaks raw
+
+    def test_unit_lines_for_seconds_and_bytes(self):
+        registry = metrics.MetricsRegistry()
+        registry.histogram("serve.request.seconds",
+                           route="/run").observe(0.25)
+        registry.gauge("cache.bytes").set(1024)
+        registry.counter("plain").inc()
+        text = sinks.to_openmetrics(registry)
+        assert "# UNIT repro_serve_request_seconds seconds" in text
+        assert "# UNIT repro_cache_bytes bytes" in text
+        assert "# UNIT repro_plain" not in text
+
+    def test_one_metadata_block_per_labeled_family(self):
+        registry = metrics.MetricsRegistry()
+        registry.counter("hits", route="/a").inc()
+        registry.counter("hits", route="/b").inc(2)
+        text = sinks.to_openmetrics(registry)
+        assert text.count("# TYPE repro_hits counter") == 1
+        assert 'repro_hits_total{route="/a"} 1' in text
+        assert 'repro_hits_total{route="/b"} 2' in text
+
+    def test_histogram_quantile_merges_with_labels(self):
+        registry = metrics.MetricsRegistry()
+        hist = registry.histogram("lat.seconds", route="/run")
+        for value in range(1, 11):
+            hist.observe(float(value))
+        text = sinks.to_openmetrics(registry)
+        assert 'repro_lat_seconds{route="/run",quantile="0.5"} 5.0' in text
+        assert 'repro_lat_seconds_count{route="/run"} 10' in text
+        assert 'repro_lat_seconds_sum{route="/run"} 55.0' in text

@@ -271,3 +271,220 @@ class TestCliSurface:
         assert main(["serve", "--socket", str(tmp_path / "s.sock"),
                      "--cache-dir", str(tmp_path / "cache"),
                      "--self-check"]) == 0
+
+
+def _flatten_spans(nodes):
+    for node in nodes:
+        yield node
+        yield from _flatten_spans(node["children"])
+
+
+class TestObservability:
+    def test_response_carries_request_identity(self, client):
+        from repro.obs import reqctx
+
+        response = client.healthz()
+        rid = response.request_id
+        assert rid is not None and len(rid) == 16
+        assert int(rid, 16) is not None  # hex
+        parsed = reqctx.parse_traceparent(response.headers["traceparent"])
+        assert parsed is not None
+        assert parsed[1] == rid  # the request id is the new parent-id
+
+    def test_traceparent_round_trip_to_debug_trace(self, client):
+        trace_id = "ab" * 16
+        header = f"00-{trace_id}-{'cd' * 8}-01"
+        response = client.run(source=_program("TraceRt"), iterations=4,
+                              route="interp", traceparent=header)
+        assert response.ok, response.text
+        rid = response.request_id
+        assert response.headers["traceparent"] == \
+            f"00-{trace_id}-{rid}-01"
+        entry = client.debug_trace(rid).json
+        record = entry["record"]
+        assert record["request_id"] == rid
+        assert record["trace_id"] == trace_id
+        assert record["traceparent_in"] == header
+        assert record["route"] == "/run"
+        assert record["run_route"] == "interp"
+        assert record["status"] == 200
+        roots = entry["spans"]
+        assert [root["name"] for root in roots] == ["serve.request"]
+        spans = list(_flatten_spans(roots))
+        assert all(span["attrs"]["request_id"] == rid for span in spans)
+        assert all(span["attrs"]["trace_id"] == trace_id
+                   for span in spans)
+
+    def test_invalid_traceparent_mints_fresh_ids(self, client):
+        from repro.obs import reqctx
+
+        response = client.request("GET", "/healthz",
+                                  traceparent="00-banana-xyz-01")
+        parsed = reqctx.parse_traceparent(response.headers["traceparent"])
+        assert parsed is not None  # fresh, valid identity
+        entry = client.debug_trace(response.request_id).json
+        assert entry["record"]["traceparent_in"] is None
+
+    def test_debug_requests_most_recent_first(self, client):
+        first = client.healthz()
+        second = client.request("GET", "/cache/stats")
+        ids = [entry["record"]["request_id"]
+               for entry in client.debug_requests()]
+        assert ids.index(second.request_id) < ids.index(first.request_id)
+
+    def test_debug_trace_unknown_is_404(self, client):
+        response = client.debug_trace("ffffffffffffffff")
+        assert response.status == 404
+        assert response.json["exit_code"] == 2
+
+    def test_healthz_enriched(self, client, server):
+        body = client.healthz().json
+        assert body["status"] == "ok"
+        assert body["inflight"] >= 1  # at least this very request
+        assert body["requests_total"] >= 1
+        assert body["cache_root"] == str(server.cache.root)
+        assert body["cache"]["entries"] >= 0
+        assert body["cache"]["bytes"] >= 0
+        assert body["ledger"]["enabled"] is True
+        assert body["ledger"]["dir"]
+        assert body["ledger"]["reachable"] is True
+
+    def test_metrics_labeled_histogram_and_unit(self, client):
+        import re
+
+        from repro.obs.sinks import OPENMETRICS_CONTENT_TYPE
+
+        client.run(source=_program("Mtr"), iterations=4, route="interp")
+        response = client.request("GET", "/metrics")
+        assert response.content_type == OPENMETRICS_CONTENT_TYPE
+        text = response.text
+        assert "# TYPE repro_serve_request_seconds summary" in text
+        assert "# UNIT repro_serve_request_seconds seconds" in text
+        assert re.search(r'repro_serve_request_seconds_count'
+                         r'\{[^}]*route="/run"[^}]*\} \d+', text)
+        # The in-flight gauge sees the scrape itself being served.
+        assert 'repro_serve_inflight{route="/metrics"} 1' in text
+
+    def test_access_log_written_and_flushed(self, tmp_path):
+        log_path = tmp_path / "access.jsonl"
+        instance = ServeServer(socket_path=tmp_path / "a.sock",
+                               cache=ArtifactCache(tmp_path / "cache"),
+                               access_log=log_path).start()
+        try:
+            handle = ServeClient(socket_path=instance.socket_path)
+            assert handle.wait_ready()
+            response = handle.run(source=_program("Logged"),
+                                  iterations=4, route="interp")
+            assert response.ok, response.text
+            # Flushed per line: readable before the server stops.
+            lines = [json.loads(line) for line
+                     in log_path.read_text().splitlines()]
+        finally:
+            instance.stop()
+        runs = [record for record in lines if record["route"] == "/run"]
+        assert len(runs) == 1
+        record = runs[0]
+        assert record["type"] == "access"
+        assert record["request_id"] == response.request_id
+        assert record["status"] == 200
+        assert record["run_route"] == "interp"
+        assert record["backend"] == "laminar-c"
+        assert record["duration_ms"] >= 0
+        assert record["bytes_out"] > 0
+        assert record["traceparent"] == response.headers["traceparent"]
+
+    def test_run_ledger_record_carries_request_ids(self, client):
+        from repro.obs import ledger as obs_ledger
+
+        trace_id = "ef" * 16
+        response = client.run(
+            source=_program("LedgerId"), iterations=4, route="interp",
+            traceparent=f"00-{trace_id}-{'12' * 8}-01")
+        assert response.ok, response.text
+        records = [record for record
+                   in obs_ledger.load_records(target="CountingLedgerId")
+                   if record["body"]["kind"] == "serve"]
+        assert records, "no serve ledger record appended"
+        body = records[-1]["body"]
+        assert body["request_id"] == response.request_id
+        assert body["trace_id"] == trace_id
+
+
+class TestConcurrency:
+    REQUESTS = 16
+
+    @staticmethod
+    def _counts(handle) -> dict:
+        """Label-summed serve counters from the /metrics exposition."""
+        run_seconds = 0.0
+        run_interp = 0.0
+        for line in handle.metrics().splitlines():
+            if line.startswith("#"):
+                continue
+            name, _, value = line.rpartition(" ")
+            if name.startswith("repro_serve_request_seconds_count") \
+                    and 'route="/run"' in name:
+                run_seconds += float(value)
+            elif name.startswith("repro_serve_run_interp_total"):
+                run_interp += float(value)
+        return {"run_seconds_count": run_seconds,
+                "run_interp": run_interp}
+
+    def test_overlapping_requests_stay_isolated(self, tmp_path):
+        import concurrent.futures
+
+        instance = ServeServer(socket_path=tmp_path / "c.sock",
+                               cache=ArtifactCache(tmp_path / "cache"),
+                               max_iterations=4096).start()
+        try:
+            probe = ServeClient(socket_path=instance.socket_path)
+            assert probe.wait_ready()
+            source = _program("Storm")
+            before = self._counts(probe)
+
+            def one_run(index):
+                mine = ServeClient(socket_path=instance.socket_path)
+                return mine.run(source=source, iterations=8 + index,
+                                route="interp")
+
+            def one_scrape(_index):
+                return ServeClient(
+                    socket_path=instance.socket_path).metrics()
+
+            with concurrent.futures.ThreadPoolExecutor(
+                    max_workers=self.REQUESTS + 4) as pool:
+                run_futures = [pool.submit(one_run, index)
+                               for index in range(self.REQUESTS)]
+                scrape_futures = [pool.submit(one_scrape, index)
+                                  for index in range(4)]
+                responses = [future.result() for future in run_futures]
+                scrapes = [future.result() for future in scrape_futures]
+            assert all(response.ok for response in responses)
+            # Concurrent scrapes saw complete, well-formed expositions.
+            assert all(text.rstrip().endswith("# EOF")
+                       for text in scrapes)
+            # Every request got its own id.
+            ids = {response.request_id for response in responses}
+            assert len(ids) == self.REQUESTS
+            # Per-request metric deltas merged without loss: the
+            # label-summed aggregates advanced by exactly one per call.
+            after = self._counts(probe)
+            assert after["run_seconds_count"] - \
+                before["run_seconds_count"] == self.REQUESTS
+            assert after["run_interp"] - before["run_interp"] == \
+                self.REQUESTS
+            # Zero cross-request bleed: each recorded /run request has
+            # exactly one root span, and every span in its tree carries
+            # that request's id.
+            entries = [entry for entry in probe.debug_requests()
+                       if entry["record"]["request_id"] in ids]
+            assert len(entries) == self.REQUESTS
+            for entry in entries:
+                rid = entry["record"]["request_id"]
+                roots = entry["spans"]
+                assert [root["name"] for root in roots] == \
+                    ["serve.request"]
+                for span in _flatten_spans(roots):
+                    assert span["attrs"]["request_id"] == rid
+        finally:
+            instance.stop()
