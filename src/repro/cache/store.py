@@ -160,6 +160,14 @@ class ArtifactCache:
             return None
         entry = self._load_entry(key, path)
         if entry is None:
+            if not path.is_dir():
+                # The entry vanished mid-validation: a concurrent gc or
+                # LRU eviction (another process, or a `cache gc` racing
+                # a live daemon) removed it.  A plain miss, not
+                # corruption — the builder will simply republish.
+                obs_metrics.counter("cache.miss").inc()
+                obs_bus.emit_event("cache.miss", key=key, evicted=True)
+                return None
             self._quarantine(key, path)
             obs_metrics.counter("cache.miss").inc()
             obs_bus.emit_event("cache.miss", key=key, corrupt=True)
@@ -233,6 +241,13 @@ class ArtifactCache:
                              created=time.time())
             (stage / META_NAME).write_text(
                 json.dumps(full_meta, indent=1, sort_keys=True) + "\n")
+            # Crash safety: the rename must not become durable before
+            # the entry's contents do, or a power cut could publish a
+            # directory of empty files.  Data first, then the rename's
+            # parent directory below.
+            for name in [*names, META_NAME]:
+                _fsync_path(stage / name)
+            _fsync_path(stage)
             path = self.entry_path(key)
             path.parent.mkdir(parents=True, exist_ok=True)
             try:
@@ -250,6 +265,7 @@ class ArtifactCache:
         except BaseException:
             shutil.rmtree(stage, ignore_errors=True)
             raise
+        _fsync_path(path.parent)
         obs_metrics.counter("cache.publish").inc()
         obs_bus.emit_event("cache.publish", key=key,
                            backend=components.get("backend"),
@@ -261,14 +277,17 @@ class ArtifactCache:
     # -- maintenance ----------------------------------------------------------
 
     def _entries(self) -> list[tuple[float, str, Path, int]]:
-        """(last_used, key, path, bytes) per entry, least recent first."""
+        """(last_used, key, path, bytes) per entry, least recent first.
+
+        Tolerates entries (and whole shards) vanishing mid-walk: a
+        concurrent ``cache gc`` / eviction racing a live daemon must
+        degrade to "that entry no longer exists", never to ENOENT.
+        """
         out = []
-        if not self.objects_dir.is_dir():
-            return out
-        for shard in sorted(self.objects_dir.iterdir()):
+        for shard in _safe_iterdir(self.objects_dir):
             if not shard.is_dir():
                 continue
-            for path in sorted(shard.iterdir()):
+            for path in _safe_iterdir(shard):
                 if not path.is_dir():
                     continue
                 stamp = _last_used(path)
@@ -298,8 +317,7 @@ class ArtifactCache:
             "bytes": sum(size for *_rest, size in entries),
             "max_bytes": self.max_bytes,
             "backends": backends,
-            "quarantined": sum(1 for _ in self.quarantine_dir.iterdir())
-            if self.quarantine_dir.is_dir() else 0,
+            "quarantined": len(_safe_iterdir(self.quarantine_dir)),
             "counters": {name: value
                          for name, value in registry.items()
                          if name.startswith("cache.")},
@@ -334,12 +352,63 @@ class ArtifactCache:
         return {"evicted": evicted, "bytes": total,
                 "entries": len(entries) - evicted}
 
+    def scrub(self) -> dict:
+        """Startup integrity pass: quarantine partial publishes.
+
+        Stage directories left under ``tmp/`` are the footprint of a
+        process that died mid-publish; entry directories that fail
+        validation are torn writes that landed before their fsync.
+        Both are moved aside so the store starts clean — the serve
+        daemon runs this before accepting its first request.  Returns
+        ``{"stale_tmp": n, "quarantined": n}``.
+        """
+        stale = 0
+        for leftover in _safe_iterdir(self.tmp_dir):
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            target = self.quarantine_dir / f"tmp-{leftover.name}"
+            try:
+                os.rename(leftover, target)
+            except OSError:
+                shutil.rmtree(leftover, ignore_errors=True)
+            stale += 1
+        corrupt = 0
+        for _stamp, key, path, _size in self._entries():
+            if self._load_entry(key, path) is None and path.is_dir():
+                self._quarantine(key, path)
+                corrupt += 1
+        if stale or corrupt:
+            obs_bus.emit_event("cache.scrub", stale_tmp=stale,
+                               quarantined=corrupt)
+        return {"stale_tmp": stale, "quarantined": corrupt}
+
     def clear(self) -> int:
         """Remove every entry (and staging/quarantine debris)."""
         count = len(self._entries())
         for sub in (self.objects_dir, self.tmp_dir, self.quarantine_dir):
             shutil.rmtree(sub, ignore_errors=True)
         return count
+
+
+def _safe_iterdir(path: Path) -> list[Path]:
+    """Sorted children of ``path``; a vanished directory is just empty."""
+    try:
+        return sorted(path.iterdir())
+    except OSError:
+        return []
+
+
+def _fsync_path(path: Path) -> None:
+    """Best-effort fsync of a file or directory (crash durability)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 def _last_used(path: Path) -> float:

@@ -53,6 +53,13 @@ Commands
     as aligned per-request lines — request id, route, status, latency,
     cache hit/dedup/degraded flags — highlighting slow requests;
     ``--follow`` streams new records live.
+``chaos [--seed N] [--requests N] [--kill-rate R] [--duration S]``
+    Seeded chaos campaign: stand up a real daemon, hammer it with
+    concurrent clients while pool workers are killed/hung (and any
+    extra ``--inject`` sites fire), then assert zero bit-wrong
+    responses, ≥ 99% eventual success, the daemon never restarting,
+    and zero leaked worker processes or temp dirs.  Exit 1 when any
+    invariant fails.
 ``metrics-serve [TARGET]``
     Serve the metrics registry as Prometheus/OpenMetrics text on a
     stdlib HTTP endpoint (``/metrics``, ``/healthz``); ``--self-check``
@@ -93,7 +100,9 @@ import argparse
 import contextlib
 import json
 import os
+import signal
 import sys
+import threading
 import time
 from pathlib import Path
 
@@ -791,7 +800,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         host=args.host, port=args.port,
         socket_path=args.socket, cache=cache, limits=limits,
         max_iterations=args.max_iterations,
-        access_log=access_log).start()
+        access_log=access_log, workers=args.workers).start()
     print(f"serving compile/run API at {server.url} "
           "(POST /compile, POST /run, GET /metrics, GET /cache/stats, "
           "GET /debug/requests; see docs/SERVING.md)", file=sys.stderr)
@@ -819,8 +828,30 @@ def cmd_serve(args: argparse.Namespace) -> int:
                   f"{body['checksum']} via {body['route']}",
                   file=sys.stderr)
             return 0
-        while True:  # pragma: no cover - interactive serve loop
-            time.sleep(3600)
+        # Serve until SIGTERM/SIGINT, then drain gracefully: stop
+        # accepting, let in-flight requests finish inside the deadline,
+        # flush the access log / pool / socket.  Exit 0 only on a full
+        # drain so supervisors can tell clean restarts from abandoned
+        # requests.
+        stop_signal = threading.Event()
+        received: dict[str, int] = {}
+
+        def _on_signal(signum, _frame):  # pragma: no cover - signals
+            received["signum"] = signum
+            stop_signal.set()
+
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            signal.signal(signum, _on_signal)
+        stop_signal.wait()
+        name = signal.Signals(received.get("signum",
+                                           signal.SIGTERM)).name
+        print(f"# {name} received: draining "
+              f"(inflight={server.inflight()}, "
+              f"timeout={args.drain_timeout:g}s)", file=sys.stderr)
+        drained = server.drain(args.drain_timeout)
+        print(f"# drain {'complete' if drained else 'timed out'}",
+              file=sys.stderr)
+        return 0 if drained else 1
     except KeyboardInterrupt:  # pragma: no cover - interactive
         return 0
     finally:
@@ -831,12 +862,11 @@ def _tail_record(raw: str) -> dict | None:
     """Normalize one JSONL line to an access-style record, or ``None``.
 
     Understands both the daemon's access log (``type: access``) and the
-    ``serve.request`` events of a ``--event-log`` JSONL file.
+    ``serve.request`` events of a ``--event-log`` JSONL file.  Raises
+    ``json.JSONDecodeError`` on an unparseable line (a torn write) so
+    the caller can warn instead of silently dropping it.
     """
-    try:
-        record = json.loads(raw)
-    except json.JSONDecodeError:
-        return None
+    record = json.loads(raw)
     if not isinstance(record, dict):
         return None
     if record.get("type") == "access":
@@ -908,7 +938,16 @@ def cmd_tail(args: argparse.Namespace) -> int:
             return
         while "\n" in pending:
             raw, pending = pending.split("\n", 1)
-            record = _tail_record(raw) if raw.strip() else None
+            if not raw.strip():
+                continue
+            try:
+                record = _tail_record(raw)
+            except json.JSONDecodeError:
+                # A torn write (daemon crashed mid-append): warn and
+                # keep going rather than dying on the whole log.
+                print(f"# warning: skipping unparseable log line "
+                      f"({raw[:60]!r}…)", file=sys.stderr)
+                continue
             if record is None:
                 continue
             if args.route and args.route not in str(record.get("route")):
@@ -921,6 +960,10 @@ def cmd_tail(args: argparse.Namespace) -> int:
 
     drain()
     if not args.follow:
+        if pending.strip():
+            print("# warning: log ends with a truncated record "
+                  "(crash mid-write?); ignoring the partial line",
+                  file=sys.stderr)
         if shown == 0:
             print("# no matching records", file=sys.stderr)
         return 0
@@ -930,6 +973,46 @@ def cmd_tail(args: argparse.Namespace) -> int:
             drain()
     except KeyboardInterrupt:  # pragma: no cover - interactive
         return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.serve import chaos
+
+    if args.extra_inject:
+        try:
+            FaultPlan.parse(args.extra_inject)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+
+    def progress(report):
+        print(f"# chaos: {report.issued}/{args.requests} issued, "
+              f"{report.succeeded} ok, {report.failed} failed, "
+              f"{report.retries} retries", file=sys.stderr)
+
+    report = chaos.run_campaign(
+        seed=args.seed, requests=args.requests, clients=args.clients,
+        kill_rate=args.kill_rate, hang_rate=args.hang_rate,
+        duration=args.duration, iterations=args.iterations,
+        workers=args.workers, route=args.route,
+        extra_inject=args.extra_inject,
+        progress=None if args.json else progress)
+    summary = report.to_dict()
+    if args.json:
+        print(json.dumps(summary, indent=1, sort_keys=True))
+    else:
+        print(f"# chaos campaign: seed={report.seed} "
+              f"requests={report.issued} wall={report.wall_seconds:.1f}s")
+        print(f"#   succeeded={report.succeeded} failed={report.failed} "
+              f"bit_wrong={report.bit_wrong} retries={report.retries} "
+              f"success_rate={report.success_rate:.4f}")
+        print(f"#   injected={summary['injected']} "
+              f"pool={summary['pool']}")
+        print(f"#   orphan_workers={report.orphan_workers} "
+              f"leaked_dirs={report.leaked_dirs} "
+              f"daemon_alive={report.daemon_alive_after}")
+        print(f"# verdict: {'OK' if report.ok else 'FAILED'}")
+    return 0 if report.ok else 1
 
 
 def cmd_list(_args: argparse.Namespace) -> int:
@@ -1164,7 +1247,55 @@ def build_parser() -> argparse.ArgumentParser:
                         help="serve, round-trip one /run request "
                              "through the daemon, print its checksum, "
                              "exit")
+    daemon.add_argument("--workers", type=int, default=2, metavar="N",
+                        help="process-isolated execution workers "
+                             "(default 2; 0 runs executions in the "
+                             "daemon process, pre-PR-10 behaviour)")
+    daemon.add_argument("--drain-timeout", type=float, default=30.0,
+                        metavar="SECONDS",
+                        help="on SIGTERM/SIGINT, wait up to SECONDS "
+                             "for in-flight requests before exiting "
+                             "(default 30; exit 0 only on full drain)")
     daemon.set_defaults(func=cmd_serve)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded chaos campaign against a live daemon: concurrent "
+             "clients + injected worker kills/hangs; asserts bit-exact "
+             "responses, bounded availability loss, zero leaks")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="campaign seed (fault-plan RNG streams and "
+                            "request mix; default 0)")
+    chaos.add_argument("--requests", type=int, default=200, metavar="N",
+                       help="logical requests to issue (default 200)")
+    chaos.add_argument("--clients", type=int, default=8, metavar="N",
+                       help="concurrent client threads (default 8)")
+    chaos.add_argument("--kill-rate", type=float, default=0.1,
+                       metavar="RATE",
+                       help="worker-kill probability per dispatch "
+                            "(default 0.1)")
+    chaos.add_argument("--hang-rate", type=float, default=0.0,
+                       metavar="RATE",
+                       help="worker-hang probability per dispatch "
+                            "(default 0)")
+    chaos.add_argument("--duration", type=float, default=None,
+                       metavar="SECONDS",
+                       help="stop issuing new requests after SECONDS "
+                            "(default: run all --requests)")
+    chaos.add_argument("--iterations", type=int, default=8, metavar="N",
+                       help="iterations per /run request (default 8)")
+    chaos.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="daemon worker-pool size (default 2)")
+    chaos.add_argument("--route", choices=("auto", "native", "interp"),
+                       default="auto",
+                       help="execution route requested (default auto)")
+    chaos.add_argument("--inject", dest="extra_inject", metavar="SPEC",
+                       default="",
+                       help="extra fault sites layered on the worker "
+                            "sites, e.g. 'cc-crash:0.2,bin-garbage:0.1'")
+    chaos.add_argument("--json", action="store_true",
+                       help="emit the report as JSON on stdout")
+    chaos.set_defaults(func=cmd_chaos)
 
     tail = sub.add_parser(
         "tail",

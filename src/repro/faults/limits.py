@@ -132,6 +132,24 @@ class ResourceLimits:
                      if getattr(other, f.name) is not None}
         return replace(self, **overrides)
 
+    def spec(self) -> str:
+        """A ``key=value`` spec that round-trips through :meth:`parse`.
+
+        Used to ship effective limits across a process boundary (the
+        serve daemon hands each pool worker its request's limits as a
+        spec string).  Unset fields are omitted; no limits → ``""``.
+        """
+        parts = []
+        if self.max_unrolled_ops is not None:
+            parts.append(f"ops={self.max_unrolled_ops}")
+        if self.max_steady_tokens_per_channel is not None:
+            parts.append(f"tokens={self.max_steady_tokens_per_channel}")
+        if self.max_solver_iterations is not None:
+            parts.append(f"solver={self.max_solver_iterations}")
+        if self.compile_seconds is not None:
+            parts.append(f"seconds={_fmt(self.compile_seconds)}")
+        return ",".join(parts)
+
 
 _UNLIMITED = ResourceLimits()
 

@@ -45,6 +45,11 @@ FAULT_SITES = {
     "malformed-stdout": "the binary exits 0 but omits required "
                         "checksum/outputs/seconds protocol lines",
     "opt-nonconverge": "the optimizer reports fixpoint non-convergence",
+    "worker-kill": "a serve pool worker process dies mid-job (SIGKILL/"
+                   "OOM-kill; detected via pipe EOF + exit status, the "
+                   "worker is respawned and the job retried once)",
+    "worker-hang": "a serve pool worker stops replying mid-job (caught "
+                   "by the pool's job deadline, then killed/respawned)",
 }
 
 

@@ -40,6 +40,7 @@ import json
 import os
 import re
 import time
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -132,6 +133,14 @@ def append(body: dict, directory: Path | None = None) -> dict:
         with os.fdopen(fd, "w", encoding="utf-8") as handle:
             json.dump(envelope, handle, sort_keys=True, indent=1)
             handle.write("\n")
+            # A ledger record claims its seq forever; make it durable
+            # before reporting success so a crash right after the append
+            # cannot lose (or half-write) an acknowledged record.
+            handle.flush()
+            try:
+                os.fsync(handle.fileno())
+            except OSError:
+                pass
         return envelope
 
 
@@ -159,8 +168,15 @@ def load_records(directory: Path | None = None,
             continue
         try:
             envelope = json.loads(entry.read_text())
-        except (OSError, json.JSONDecodeError):
-            continue  # a torn write must not poison the whole history
+        except OSError:
+            continue  # vanished mid-scan (concurrent cleanup)
+        except json.JSONDecodeError as error:
+            # A torn write (crash mid-append) must not poison the whole
+            # history — but it should not be silent either.
+            warnings.warn(
+                f"skipping unparseable ledger record {entry}: {error}",
+                RuntimeWarning, stacklevel=2)
+            continue
         if isinstance(envelope, dict) and "body" in envelope:
             records.append(envelope)
     records.sort(key=lambda env: (env.get("seq", 0),

@@ -5,13 +5,30 @@ persistent artifact cache over HTTP — TCP or a Unix domain socket —
 with single-flight compilation dedup and per-request admission control;
 :class:`ServeClient` (in :mod:`repro.serve.client`) is the matching
 stdlib-only client used by the tests, the benchmark and CI.
+
+Crash safety lives in three sibling modules: :mod:`repro.serve.pool`
+(process-isolated execution workers with respawn + retry-once),
+:mod:`repro.serve.admission` (deadline-aware load shedding and per-key
+circuit breakers) and :mod:`repro.serve.chaos` (the seeded
+``python -m repro chaos`` campaign that proves the whole stack under
+injected failure).
 """
 
+from repro.serve.admission import (AdmissionQueue, CircuitBreaker,
+                                   CircuitOpenError, ShedRequest)
+from repro.serve.chaos import ChaosReport, run_campaign
 from repro.serve.client import ServeClient, ServeResponse, UnixHTTPConnection
 from repro.serve.daemon import (ACCESS_LOG_ENV, ApiError,
-                                DEFAULT_ACCESS_LOG, DEFAULT_MAX_ITERATIONS,
-                                DEFAULT_PORT, ServeServer)
+                                DEFAULT_ACCESS_LOG, DEFAULT_DRAIN_TIMEOUT,
+                                DEFAULT_MAX_ITERATIONS, DEFAULT_PORT,
+                                ServeServer)
+from repro.serve.pool import (DEFAULT_WORKERS, PoolExhausted, WorkerCrashed,
+                              WorkerHung, WorkerPool)
 
-__all__ = ["ACCESS_LOG_ENV", "ApiError", "DEFAULT_ACCESS_LOG",
-           "DEFAULT_MAX_ITERATIONS", "DEFAULT_PORT", "ServeClient",
-           "ServeResponse", "ServeServer", "UnixHTTPConnection"]
+__all__ = ["ACCESS_LOG_ENV", "AdmissionQueue", "ApiError", "ChaosReport",
+           "CircuitBreaker", "CircuitOpenError", "DEFAULT_ACCESS_LOG",
+           "DEFAULT_DRAIN_TIMEOUT", "DEFAULT_MAX_ITERATIONS",
+           "DEFAULT_PORT", "DEFAULT_WORKERS", "PoolExhausted",
+           "ServeClient", "ServeResponse", "ServeServer", "ShedRequest",
+           "UnixHTTPConnection", "WorkerCrashed", "WorkerHung",
+           "WorkerPool", "run_campaign"]

@@ -17,26 +17,39 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import socket
 import time
 from pathlib import Path
 
 from repro.obs import reqctx
 
+DEFAULT_CONNECT_TIMEOUT = 10.0
+DEFAULT_READ_TIMEOUT = 120.0
+# Base for the single jittered connection-refused retry (the daemon is
+# usually mid-startup; one short pause covers the common race).
+RETRY_BACKOFF_SECONDS = 0.1
+
 
 class UnixHTTPConnection(http.client.HTTPConnection):
     """``http.client`` over an ``AF_UNIX`` stream socket."""
 
     def __init__(self, socket_path: "str | Path",
-                 timeout: float = 60.0):
+                 timeout: float = 60.0,
+                 connect_timeout: float | None = None):
         # The "host" only feeds the Host: header; any token works.
         super().__init__("localhost", timeout=timeout)
         self.socket_path = str(socket_path)
+        self.connect_timeout = connect_timeout \
+            if connect_timeout is not None else timeout
 
     def connect(self) -> None:
         sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        sock.settimeout(self.timeout)
+        sock.settimeout(self.connect_timeout)
         sock.connect(self.socket_path)
+        # Established: switch to the (longer) read timeout for the
+        # request/response exchange.
+        sock.settimeout(self.timeout)
         self.sock = sock
 
 
@@ -72,25 +85,52 @@ class ServeResponse:
         return self.headers.get("x-request-id")
 
 
+class _TcpHTTPConnection(http.client.HTTPConnection):
+    """TCP ``http.client`` with split connect/read timeouts."""
+
+    def __init__(self, host: str, port: int, timeout: float,
+                 connect_timeout: float):
+        super().__init__(host, port, timeout=timeout)
+        self.connect_timeout = connect_timeout
+
+    def connect(self) -> None:
+        self.sock = socket.create_connection(
+            (self.host, self.port), self.connect_timeout)
+        self.sock.settimeout(self.timeout)
+
+
 class ServeClient:
-    """Convenience wrapper over the daemon's JSON API."""
+    """Convenience wrapper over the daemon's JSON API.
+
+    ``connect_timeout`` bounds establishing the connection,
+    ``read_timeout`` the request/response exchange (``timeout`` is the
+    legacy spelling of the latter).  A refused connection — typically a
+    daemon still binding its socket — is retried **once** after a short
+    jittered backoff before the error escapes to the caller.
+    """
 
     def __init__(self, *, socket_path: "str | Path | None" = None,
                  host: str = "127.0.0.1", port: int | None = None,
-                 timeout: float = 120.0):
+                 timeout: float = DEFAULT_READ_TIMEOUT,
+                 connect_timeout: float = DEFAULT_CONNECT_TIMEOUT,
+                 read_timeout: float | None = None):
         if (socket_path is None) == (port is None):
             raise ValueError("exactly one of socket_path or port required")
         self.socket_path = socket_path
         self.host = host
         self.port = port
-        self.timeout = timeout
+        self.timeout = read_timeout if read_timeout is not None \
+            else timeout
+        self.connect_timeout = connect_timeout
 
     def _connection(self) -> http.client.HTTPConnection:
         if self.socket_path is not None:
-            return UnixHTTPConnection(self.socket_path,
-                                      timeout=self.timeout)
-        return http.client.HTTPConnection(self.host, self.port,
-                                          timeout=self.timeout)
+            return UnixHTTPConnection(
+                self.socket_path, timeout=self.timeout,
+                connect_timeout=self.connect_timeout)
+        return _TcpHTTPConnection(self.host, self.port,
+                                  timeout=self.timeout,
+                                  connect_timeout=self.connect_timeout)
 
     def request(self, method: str, path: str,
                 payload: dict | None = None, *,
@@ -102,17 +142,31 @@ class ServeClient:
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        connection = self._connection()
-        try:
-            connection.request(method, path, body=body, headers=headers)
-            response = connection.getresponse()
-            return ServeResponse(response.status,
-                                 response.getheader("Content-Type", ""),
-                                 response.read(),
-                                 headers=dict(response.getheaders()),
-                                 traceparent=traceparent)
-        finally:
-            connection.close()
+        for attempt in range(2):
+            connection = None
+            try:
+                connection = self._connection()
+                connection.request(method, path, body=body,
+                                   headers=headers)
+                response = connection.getresponse()
+                return ServeResponse(
+                    response.status,
+                    response.getheader("Content-Type", ""),
+                    response.read(),
+                    headers=dict(response.getheaders()),
+                    traceparent=traceparent)
+            except (ConnectionRefusedError, FileNotFoundError):
+                # The daemon is (re)starting: its socket is not bound
+                # yet (TCP refuses; a Unix socket path may not even
+                # exist).  One jittered retry covers the startup race.
+                if attempt:
+                    raise
+                time.sleep(RETRY_BACKOFF_SECONDS
+                           * (1.0 + random.random()))
+            finally:
+                if connection is not None:
+                    connection.close()
+        raise AssertionError("unreachable")  # pragma: no cover
 
     # -- endpoint helpers -----------------------------------------------------
 

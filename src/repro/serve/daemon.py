@@ -81,10 +81,15 @@ from repro.obs import trace as obs_trace
 from repro.obs.sinks import (JsonlAccessLog, OPENMETRICS_CONTENT_TYPE,
                              span_tree, to_openmetrics)
 from repro.opt import OptOptions
+from repro.serve import pool as pool_mod
+from repro.serve.admission import (AdmissionQueue, CircuitBreaker,
+                                   CircuitOpenError, ShedRequest)
+from repro.serve.pool import WorkerPool
 from repro.suite import BENCHMARKS, load_benchmark
 
 DEFAULT_PORT = 9465
 DEFAULT_MAX_ITERATIONS = 1_000_000
+DEFAULT_DRAIN_TIMEOUT = 30.0
 
 # Where ``python -m repro serve`` writes its access log unless told
 # otherwise (library users pass ``access_log=`` explicitly).
@@ -118,15 +123,19 @@ class ApiError(Exception):
     """A request-level failure with an HTTP status and exit-code tag."""
 
     def __init__(self, status: int, kind: str, exit_code: int,
-                 message: str):
+                 message: str, retry_after: float | None = None):
         super().__init__(message)
         self.status = status
         self.kind = kind
         self.exit_code = exit_code
+        self.retry_after = retry_after
 
     def payload(self) -> dict:
-        return {"error": str(self), "kind": self.kind,
-                "exit_code": self.exit_code}
+        payload = {"error": str(self), "kind": self.kind,
+                   "exit_code": self.exit_code}
+        if self.retry_after is not None:
+            payload["retry_after"] = round(self.retry_after, 3)
+        return payload
 
 
 def _usage(message: str) -> ApiError:
@@ -143,11 +152,30 @@ class ServeServer:
                  max_iterations: int = DEFAULT_MAX_ITERATIONS,
                  ledger: bool = True,
                  access_log: "str | Path | None" = None,
-                 flight_recorder: int = FLIGHT_RECORDER_SIZE):
+                 flight_recorder: int = FLIGHT_RECORDER_SIZE,
+                 workers: int = pool_mod.DEFAULT_WORKERS,
+                 job_timeout: float = pool_mod.DEFAULT_JOB_TIMEOUT,
+                 admission: AdmissionQueue | None = None,
+                 breaker: CircuitBreaker | None = None):
         self.cache = cache if cache is not None else ArtifactCache()
+        # A crash mid-publish leaves stage dirs behind; quarantine them
+        # before serving so lookups never see partial entries.
+        try:
+            self.cache.scrub()
+        except OSError:
+            pass
         self.limits = limits
         self.max_iterations = max_iterations
         self.ledger = ledger
+        self.workers = max(0, workers)
+        self.job_timeout = job_timeout
+        self._pool: WorkerPool | None = None
+        self._pool_lock = threading.Lock()
+        self.admission = admission if admission is not None \
+            else AdmissionQueue()
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self._draining = False
+        self._stopped = False
         self.started_at = time.time()
         self.access_log = JsonlAccessLog(access_log) \
             if access_log else None
@@ -207,6 +235,9 @@ class ServeServer:
         return self
 
     def stop(self) -> None:
+        if self._stopped:
+            return
+        self._stopped = True
         if self._thread is not None:
             self._server.shutdown()
             self._thread.join(timeout=5)
@@ -217,10 +248,58 @@ class ServeServer:
                 Path(self.socket_path).unlink()
             except OSError:
                 pass
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
         if not self._trace_was_enabled:
             obs_trace.disable()
         if self.access_log is not None:
             self.access_log.close()
+
+    def drain(self, timeout: float = DEFAULT_DRAIN_TIMEOUT) -> bool:
+        """Graceful shutdown: stop accepting, finish in-flight, flush.
+
+        Closes the listener first (new connects are refused), waits up
+        to ``timeout`` seconds for in-flight requests to complete, then
+        tears everything down via :meth:`stop` — which flushes and
+        closes the access log, kills the worker pool, and unlinks the
+        Unix socket.  Returns ``True`` when every in-flight request
+        finished inside the deadline (the caller's exit code hinges on
+        this).
+        """
+        self._draining = True
+        obs_bus.emit_event("serve.drain.start", inflight=self.inflight(),
+                           timeout=timeout)
+        if self._thread is not None:
+            self._server.shutdown()
+            self._thread.join(timeout=5)
+            self._thread = None
+        # shutdown() only stops the accept loop; close the listening
+        # socket too so new connects fail fast during the drain.
+        self._server.server_close()
+        deadline = time.monotonic() + timeout
+        while self.inflight() > 0 and time.monotonic() < deadline:
+            time.sleep(0.02)
+        drained = self.inflight() == 0
+        obs_bus.emit_event("serve.drain.done", drained=drained,
+                           inflight=self.inflight())
+        self.stop()
+        return drained
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def _worker_pool(self) -> WorkerPool | None:
+        """The lazily-started execution pool (None with ``workers=0``)."""
+        if self.workers <= 0:
+            return None
+        with self._pool_lock:
+            if self._pool is None and not self._stopped:
+                self._pool = WorkerPool(self.workers,
+                                        job_timeout=self.job_timeout)
+            return self._pool
 
     # -- request plumbing -----------------------------------------------------
 
@@ -248,7 +327,7 @@ class ServeServer:
             with reqctx.activate(ctx):
                 with obs_trace.span("serve.request", method=method,
                                     route=route) as root:
-                    status, content_type, payload = \
+                    status, content_type, payload, resp_headers = \
                         self._dispatch_request(method, path, body)
                     root.annotate(status=status)
         finally:
@@ -257,12 +336,13 @@ class ServeServer:
         self._finish_request(ctx, wall=wall, method=method, path=path,
                              route=route, status=status,
                              duration=duration, bytes_out=len(payload))
-        extra = {"X-Request-Id": ctx.request_id,
-                 "Traceparent": ctx.traceparent}
+        extra = dict(resp_headers)
+        extra.update({"X-Request-Id": ctx.request_id,
+                      "Traceparent": ctx.traceparent})
         return status, content_type, payload, extra
 
     def _dispatch_request(self, method: str, path: str,
-                          body: bytes) -> tuple[int, str, bytes]:
+                          body: bytes) -> tuple[int, str, bytes, dict]:
         """Route one request to its endpoint; never raises."""
         obs_metrics.counter("serve.requests").inc()
         try:
@@ -270,7 +350,7 @@ class ServeServer:
                 return self._json(200, self._healthz())
             if method == "GET" and path == "/metrics":
                 text = to_openmetrics().encode("utf-8")
-                return 200, OPENMETRICS_CONTENT_TYPE, text
+                return 200, OPENMETRICS_CONTENT_TYPE, text, {}
             if method == "GET" and path == "/cache/stats":
                 return self._json(200, self.cache.stats())
             if method == "GET" and path == "/debug/requests":
@@ -286,6 +366,15 @@ class ServeServer:
                            f"no such endpoint: {method} {path}")
         except ApiError as error:
             return self._error(error)
+        except ShedRequest as error:
+            obs_metrics.counter("serve.admission.rejected").inc()
+            return self._error(
+                ApiError(429, "shed", 3, str(error),
+                         retry_after=error.retry_after))
+        except CircuitOpenError as error:
+            return self._error(
+                ApiError(503, "circuit-open", 4, str(error),
+                         retry_after=error.retry_after))
         except ResourceExhausted as error:
             obs_metrics.counter("serve.admission.rejected").inc()
             payload = ApiError(429, "resource-exhausted", 3,
@@ -299,6 +388,9 @@ class ServeServer:
         except runner.NativeToolchainError as error:
             return self._error(
                 ApiError(503, f"native-{error.stage}", 4, str(error)))
+        except pool_mod.PoolExhausted as error:
+            return self._error(
+                ApiError(503, "worker-crashed", 4, str(error)))
         except Exception as error:  # noqa: BLE001 - the API boundary
             obs_metrics.counter("serve.errors").inc()
             return self._error(
@@ -367,8 +459,10 @@ class ServeServer:
     def _healthz(self) -> dict:
         entries, cache_bytes = self.cache.size()
         ledger_path = obs_ledger.ledger_dir()
+        with self._pool_lock:
+            pool = self._pool
         return {
-            "status": "ok",
+            "status": "draining" if self._draining else "ok",
             "uptime_seconds": time.time() - self.started_at,
             "inflight": self.inflight(),
             "requests_total":
@@ -377,6 +471,11 @@ class ServeServer:
             "cache": {"entries": entries, "bytes": cache_bytes},
             "ledger": {"enabled": self.ledger, "dir": str(ledger_path),
                        "reachable": _ledger_reachable(ledger_path)},
+            "pool": pool.stats() if pool is not None
+            else {"size": self.workers, "alive": 0, "spawned": 0,
+                  "crashes": 0, "hangs": 0, "retries": 0},
+            "admission": self.admission.stats(),
+            "breaker": self.breaker.stats(),
         }
 
     def _recent(self) -> list[dict]:
@@ -402,23 +501,30 @@ class ServeServer:
                        f"(the flight recorder keeps the last "
                        f"{self._recorder.maxlen})")
 
-    def _json(self, status: int, payload: dict) -> tuple[int, str, bytes]:
+    def _json(self, status: int, payload: dict,
+              headers: dict | None = None) -> tuple[int, str, bytes, dict]:
         body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
-        return status, "application/json", body
+        return status, "application/json", body, dict(headers or {})
 
-    def _error(self, error: ApiError) -> tuple[int, str, bytes]:
+    def _error(self, error: ApiError) -> tuple[int, str, bytes, dict]:
         if error.status >= 500:
             obs_metrics.counter("serve.errors").inc()
         obs_bus.emit_event("serve.error", kind=error.kind,
                            status=error.status, message=str(error)[:200])
-        return self._json(error.status, error.payload())
+        headers = {}
+        if error.retry_after is not None:
+            # RFC 9110 allows only integer seconds; never hint zero.
+            headers["Retry-After"] = str(max(1, int(error.retry_after
+                                                    + 0.999)))
+        return self._json(error.status, error.payload(), headers)
 
     # -- endpoints ------------------------------------------------------------
 
     def _compile(self, request: dict) -> dict:
         parsed = self._parse_common(request)
         started = time.monotonic()
-        with self._admission(parsed):
+        with self.admission.admit(parsed["deadline"]), \
+                self._admission(parsed):
             stream, stream_cached = self._stream(parsed)
             entry, hit, key = self._ensure_entry(stream, parsed)
         reqctx.note(backend=parsed["backend"], cache_hit=hit,
@@ -450,32 +556,27 @@ class ServeServer:
             raise _usage(f"route must be auto|native|interp, got {route!r}")
         started = time.monotonic()
         degraded = False
-        with self._admission(parsed):
+        with self.admission.admit(parsed["deadline"]), \
+                self._admission(parsed):
             stream, stream_cached = self._stream(parsed)
             hit = None
             key = None
             if route in ("auto", "native"):
                 try:
                     entry, hit, key = self._ensure_entry(stream, parsed)
-                except runner.NativeCompileError as error:
+                except (runner.NativeCompileError,
+                        CircuitOpenError) as error:
                     if route == "native":
                         raise
                     from repro.faults import degrade
                     degrade.record_fallback("serve /run", str(error))
                     degraded = True
                 else:
-                    run = runner.run_binary(entry.binary, iterations)
-                    result = {"checksum": f"{run.checksum:016x}",
-                              "outputs": run.output_count,
-                              "seconds": run.seconds,
-                              "route": "native"}
+                    result = self._execute_native(entry, iterations,
+                                                  parsed)
             if route == "interp" or degraded:
-                outputs = stream.run_laminar(
-                    iterations, parsed["lowering"], parsed["opt"]).outputs
-                result = {"checksum": f"{checksum_outputs(outputs):016x}",
-                          "outputs": len(outputs),
-                          "seconds": time.monotonic() - started,
-                          "route": "interp"}
+                result = self._execute_interp(stream, request, parsed,
+                                              iterations, started)
         result.update(stream=stream.name, iterations=iterations,
                       cache_hit=hit, key=key, degraded=degraded,
                       stream_cached=stream_cached,
@@ -530,18 +631,107 @@ class ServeServer:
                 limits = ResourceLimits.parse(request["limits"])
             except ValueError as error:
                 raise _usage(str(error)) from None
+        deadline = request.get("deadline_ms")
+        if deadline is not None:
+            if not isinstance(deadline, (int, float)) \
+                    or isinstance(deadline, bool) or deadline <= 0:
+                raise _usage("'deadline_ms' must be a positive number")
+            deadline = deadline / 1e3
         return {"source": source, "benchmark": benchmark,
                 "backend": backend, "opt": opt, "lowering": lowering,
-                "limits": limits,
+                "limits": limits, "deadline": deadline,
                 "pipeline": ",".join(opt.pipeline) if opt.pipeline
                 else ("none" if request.get("no_opt") else "default")}
 
-    def _admission(self, parsed: dict):
-        """Thread-local per-request resource limits, if any apply."""
+    def _effective_limits(self, parsed: dict) -> ResourceLimits:
         effective = self.limits or ResourceLimits()
         if parsed["limits"] is not None:
             effective = effective.merged(parsed["limits"])
-        return use_limits(effective)
+        return effective
+
+    def _admission(self, parsed: dict):
+        """Thread-local per-request resource limits, if any apply."""
+        return use_limits(self._effective_limits(parsed))
+
+    # -- pool-backed execution ------------------------------------------------
+
+    def _execute_native(self, entry, iterations: int,
+                        parsed: dict) -> dict:
+        """Run a cached binary — in a pool worker when the pool is on."""
+        pool = self._worker_pool()
+        if pool is None:
+            run = runner.run_binary(entry.binary, iterations)
+            return {"checksum": f"{run.checksum:016x}",
+                    "outputs": run.output_count,
+                    "seconds": run.seconds, "route": "native"}
+        reply = self._pool_call(pool, {
+            "kind": "native", "binary": str(entry.binary),
+            "iterations": iterations,
+            "limits": self._effective_limits(parsed).spec()})
+        return {"checksum": reply["checksum"],
+                "outputs": reply["outputs"],
+                "seconds": reply["seconds"], "route": "native"}
+
+    def _execute_interp(self, stream: CompiledStream, request: dict,
+                        parsed: dict, iterations: int,
+                        started: float) -> dict:
+        """Run the interpreter — in a pool worker when the pool is on.
+
+        ``stream`` is already frontend-compiled in the daemon (request
+        validation must not depend on a worker round-trip); the worker
+        re-derives it from the raw spec fields, memoized per worker.
+        """
+        pool = self._worker_pool()
+        if pool is None:
+            outputs = stream.run_laminar(
+                iterations, parsed["lowering"], parsed["opt"]).outputs
+            return {"checksum": f"{checksum_outputs(outputs):016x}",
+                    "outputs": len(outputs),
+                    "seconds": time.monotonic() - started,
+                    "route": "interp"}
+        reply = self._pool_call(pool, {
+            "kind": "interp", "iterations": iterations,
+            "source": request.get("source"),
+            "benchmark": request.get("benchmark"),
+            "no_opt": bool(request.get("no_opt")),
+            "no_elim": bool(request.get("no_elim")),
+            "pipeline": request.get("pipeline"),
+            "reroll": request.get("reroll"),
+            "reroll_min_repeat": request.get("reroll_min_repeat"),
+            "limits": self._effective_limits(parsed).spec()})
+        return {"checksum": reply["checksum"],
+                "outputs": reply["outputs"],
+                "seconds": reply["seconds"], "route": "interp"}
+
+    def _pool_call(self, pool: WorkerPool, job: dict) -> dict:
+        """Submit one job; job-level errors become the daemon's own
+        exception taxonomy so status mapping and auto-route degradation
+        behave exactly as they do for in-process execution.
+        (:class:`~repro.serve.pool.PoolExhausted` — the worker itself
+        died twice — propagates and maps to a 503.)
+        """
+        reply = pool.submit(job)
+        if reply.get("ok"):
+            return reply
+        kind = reply.get("kind")
+        message = str(reply.get("error") or "worker error")
+        if kind == "resource-exhausted":
+            raise ResourceExhausted(
+                str(reply.get("resource") or "resource"),
+                float(reply.get("limit") or 0),
+                float(reply.get("actual") or 0),
+                where=str(reply.get("where") or ""))
+        if kind == "native":
+            stage_cls = {"compile": runner.NativeCompileError,
+                         "run": runner.NativeRunError,
+                         "protocol": runner.NativeProtocolError,
+                         "stall": runner.NativeStallError}
+            cls = stage_cls.get(str(reply.get("stage")),
+                                runner.NativeToolchainError)
+            raise cls(message)
+        if kind == "compile-error":
+            raise ApiError(422, "compile-error", 1, message)
+        raise ApiError(500, "internal", 1, message)
 
     def _stream(self, parsed: dict) -> tuple[CompiledStream, bool]:
         """Frontend-compile the request's spec, memoized by source hash."""
@@ -577,6 +767,7 @@ class ServeServer:
         entry = self.cache.lookup(key)
         if entry is not None:
             return entry, True, key
+        self.breaker.check(key)
         while True:
             with self._flight_lock:
                 event = self._inflight.get(key)
@@ -593,10 +784,15 @@ class ServeServer:
                 return entry, True, key
             # The builder failed; loop to elect a new one.
         try:
-            entry = build_native(stream, key, components,
-                                 backend=parsed["backend"],
-                                 lowering=parsed["lowering"],
-                                 opt=parsed["opt"], cache=self.cache)
+            try:
+                entry = build_native(stream, key, components,
+                                     backend=parsed["backend"],
+                                     lowering=parsed["lowering"],
+                                     opt=parsed["opt"], cache=self.cache)
+            except Exception as error:
+                self.breaker.failure(key, str(error))
+                raise
+            self.breaker.success(key)
             return entry, False, key
         finally:
             with self._flight_lock:

@@ -63,7 +63,8 @@ class TestAppendLoad:
         ledger.append(body(), tmp_path)
         (tmp_path / "000002-0123456789ab.json").write_text('{"half')
         (tmp_path / "not-a-record.txt").write_text("noise")
-        records = ledger.load_records(tmp_path)
+        with pytest.warns(RuntimeWarning, match="unparseable"):
+            records = ledger.load_records(tmp_path)
         assert len(records) == 1
 
     def test_load_filters_by_target(self, tmp_path):
